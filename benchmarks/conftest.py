@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each Figure-6 benchmark's variant set (trace + annotation + programs) is
+built once per session and its timing runs cached, because several benchmark
+modules consume the same rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.variants import build_variants
+from repro.workloads.base import get_workload
+
+_CACHE: dict[str, object] = {}
+
+
+def variant_results(name: str):
+    """(VariantSet, {variant: RunResult}) for a Figure-6 benchmark."""
+    if name not in _CACHE:
+        spec = get_workload(name)
+        vs = build_variants(spec)
+        _CACHE[name] = (vs, vs.run_all())
+    return _CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def fig6_results():
+    """Results for all five Section 6 benchmarks."""
+    from repro.harness.figure6 import FIG6_BENCHMARKS
+
+    return {name: variant_results(name) for name in FIG6_BENCHMARKS}

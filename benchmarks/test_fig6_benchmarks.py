@@ -1,0 +1,157 @@
+"""E1 — Figure 6: normalized execution times of the five benchmarks.
+
+Regenerates the paper's headline figure and asserts its qualitative shape:
+
+* Cachier beats the unannotated program on every communicating benchmark;
+* Cachier is at least as good as the hand annotation everywhere, and
+  dramatically better for Mp3d (the dynamic-access benchmark hand
+  annotators got wrong);
+* prefetch helps the regular programs, and the *misplaced* hand prefetches
+  of Matrix Multiply do not;
+* Tomcatv (compute-bound) moves the least.
+
+Absolute factors differ from the paper's WWT/CM-5 testbed (see
+EXPERIMENTS.md); the assertions below encode the figure's orderings with
+tolerances, not its absolute bar heights.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import variant_results
+from repro.harness.figure6 import (
+    FIG6_BENCHMARKS,
+    Fig6Row,
+    render_figure6,
+)
+from repro.harness.variants import (
+    CACHIER,
+    CACHIER_PREFETCH,
+    HAND,
+    HAND_PREFETCH,
+    PLAIN,
+)
+
+
+def norm(results, variant):
+    return results[variant].cycles / results[PLAIN].cycles
+
+
+@pytest.mark.parametrize("name", FIG6_BENCHMARKS)
+def test_cachier_not_worse_than_plain(benchmark, name):
+    _, results = variant_results(name)
+
+    def read_row():
+        return norm(results, CACHIER)
+
+    value = benchmark.pedantic(read_row, rounds=1, iterations=1)
+    assert value <= 1.005
+
+
+@pytest.mark.parametrize("name", FIG6_BENCHMARKS)
+def test_cachier_at_least_matches_hand(benchmark, name):
+    _, results = variant_results(name)
+    value = benchmark.pedantic(
+        lambda: norm(results, CACHIER) - norm(results, HAND),
+        rounds=1, iterations=1,
+    )
+    assert value <= 0.005  # cachier <= hand (within noise)
+
+
+def test_communicating_benchmarks_improve_markedly(benchmark):
+    def gains():
+        return {
+            name: 1 - norm(variant_results(name)[1], CACHIER)
+            for name in ("ocean", "mp3d", "barnes")
+        }
+
+    value = benchmark.pedantic(gains, rounds=1, iterations=1)
+    assert value["ocean"] > 0.10
+    assert value["mp3d"] > 0.15
+    assert value["barnes"] > 0.05
+
+
+def test_mp3d_cachier_beats_hand_dramatically(benchmark):
+    _, results = variant_results("mp3d")
+    ratio = benchmark.pedantic(
+        lambda: results[CACHIER].cycles / results[HAND].cycles,
+        rounds=1, iterations=1,
+    )
+    # Paper: Cachier outperformed the hand annotation by ~45%.
+    assert ratio < 0.80
+
+
+def test_tomcatv_barely_moves(benchmark):
+    _, results = variant_results("tomcatv")
+    value = benchmark.pedantic(
+        lambda: norm(results, CACHIER), rounds=1, iterations=1
+    )
+    assert value > 0.90  # "not a large effect"
+
+
+def test_prefetch_helps_regular_benchmarks(benchmark):
+    def deltas():
+        out = {}
+        for name in ("matmul", "ocean"):
+            _, results = variant_results(name)
+            out[name] = norm(results, CACHIER) - norm(results, CACHIER_PREFETCH)
+        return out
+
+    value = benchmark.pedantic(deltas, rounds=1, iterations=1)
+    assert value["matmul"] > 0.05
+    assert value["ocean"] > 0.05
+
+
+def test_misplaced_hand_prefetch_does_not_help_matmul(benchmark):
+    _, results = variant_results("matmul")
+    delta = benchmark.pedantic(
+        lambda: norm(results, HAND) - norm(results, HAND_PREFETCH),
+        rounds=1, iterations=1,
+    )
+    # The hand prefetches were "inappropriately placed": no real gain.
+    assert delta < 0.03
+    # ...while Cachier's prefetch clearly beats the hand prefetch.
+    assert norm(results, CACHIER_PREFETCH) < norm(results, HAND_PREFETCH)
+
+
+def test_print_figure6_table(benchmark, fig6_results, capsys):
+    rows = []
+    for name, (_vs, results) in fig6_results.items():
+        rows.append(
+            Fig6Row(
+                benchmark=name,
+                cycles={variant: r.cycles for variant, r in results.items()},
+            )
+        )
+    text = benchmark.pedantic(lambda: render_figure6(rows), rounds=1,
+                              iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def test_prefetch_flat_for_tomcatv(benchmark):
+    """Tomcatv computes rather than communicates: prefetch moves it by at
+    most a couple of percent in either direction."""
+    _, results = variant_results("tomcatv")
+    delta = benchmark.pedantic(
+        lambda: abs(norm(results, CACHIER) - norm(results, CACHIER_PREFETCH)),
+        rounds=1, iterations=1,
+    )
+    assert delta < 0.03
+
+
+def test_barnes_prefetch_gain_smaller_than_regular_benchmarks(benchmark):
+    """Section 6: prefetch is "not very successful" on Barnes' pointer
+    structures — its gain must not exceed the regular benchmarks'."""
+    def gains():
+        out = {}
+        for name in ("barnes", "ocean"):
+            _, results = variant_results(name)
+            out[name] = norm(results, CACHIER) - norm(results,
+                                                      CACHIER_PREFETCH)
+        return out
+
+    value = benchmark.pedantic(gains, rounds=1, iterations=1)
+    assert value["barnes"] <= value["ocean"]

@@ -1,0 +1,63 @@
+"""E7 — Section 4.5: annotations from one input, performance on another.
+
+"The difference between executing a Cachier annotated program on the same
+input data set used to generate the dynamic information as opposed to
+executing the program on a different data set was small (< 2%) even for a
+dynamic application like Barnes."
+
+The Figure 6 harness already uses different seeds for tracing vs timing in
+spirit; this benchmark makes the claim explicit for the two dynamic
+benchmarks (Mp3d and Barnes): a plan derived from input A is applied to the
+input-B program, and its runtime compared with the input-B-derived plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import input_sensitivity
+from repro.harness.reporting import render_table
+
+
+SEEDS = (3, 5, 9)
+
+
+@pytest.mark.parametrize("workload", ["mp3d", "barnes"])
+def test_cross_input_annotations_within_two_percent(benchmark, workload, capsys):
+    """Median over several evaluation inputs: races make single runs
+    chaotic (a one-statement perturbation can shift interleavings by more
+    than the annotation quality itself), so the claim is checked on the
+    median, as the authors effectively did by reporting one aggregate
+    number per benchmark."""
+
+    def measure():
+        return [
+            input_sensitivity(workload, seed_a=1, seed_b=seed)
+            for seed in SEEDS
+        ]
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    diffs = sorted(r["relative_difference"] for r in results)
+    median = diffs[len(diffs) // 2]
+    assert median < 0.02
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["workload", "seed", "plain", "same-input", "cross-input",
+             "difference"],
+            [[workload, seed, r["plain_cycles"], r["same_input_cycles"],
+              r["cross_input_cycles"], f"{r['relative_difference']:.2%}"]
+             for seed, r in zip(SEEDS, results)],
+            title="E7: input sensitivity of Cachier annotations",
+        ))
+
+
+def test_cross_input_still_beats_plain(benchmark):
+    def measure():
+        return [
+            input_sensitivity("mp3d", seed_a=1, seed_b=seed)
+            for seed in SEEDS
+        ]
+
+    for result in benchmark.pedantic(measure, rounds=1, iterations=1):
+        assert result["cross_input_cycles"] < result["plain_cycles"]

@@ -1,0 +1,57 @@
+"""E2 — Section 2.1's CICO cost model for Jacobi relaxation.
+
+The paper derives closed forms for the total number of cache blocks checked
+out, in two cache regimes.  This benchmark runs both annotated variants on
+the simulator and asserts the *simulated* check-out counters equal the
+formulas exactly, then prints the table the paper's arithmetic corresponds
+to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import jacobi_cost_table
+from repro.harness.runner import run_program
+from repro.workloads.jacobi import expected_checkouts, make
+
+N, STEPS, NODES = 16, 4, 16
+
+
+@pytest.mark.parametrize("variant", ["cico_fits", "cico_column"])
+def test_simulated_checkouts_match_formula(benchmark, variant):
+    spec = make(n=N, steps=STEPS, num_nodes=NODES, variant=variant)
+
+    def run():
+        result, _ = run_program(spec.program, spec.config, spec.params_fn)
+        return result.stats.checkouts
+
+    simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert simulated == expected_checkouts(variant, N, STEPS, NODES)
+
+
+def test_column_regime_costs_more(benchmark):
+    """The second regime re-checks the matrix out every time step, so its
+    total strictly exceeds the fits-in-cache regime (for T > 1)."""
+
+    def totals():
+        out = {}
+        for variant in ("cico_fits", "cico_column"):
+            spec = make(n=N, steps=STEPS, num_nodes=NODES, variant=variant)
+            result, _ = run_program(spec.program, spec.config, spec.params_fn)
+            out[variant] = result.stats.checkouts
+        return out
+
+    counts = benchmark.pedantic(totals, rounds=1, iterations=1)
+    assert counts["cico_column"] > counts["cico_fits"]
+
+
+def test_print_cost_table(benchmark, capsys):
+    text = benchmark.pedantic(
+        lambda: jacobi_cost_table(n=N, steps=STEPS, num_nodes=NODES),
+        rounds=1, iterations=1,
+    )
+    assert "MISMATCH" not in text
+    with capsys.disabled():
+        print()
+        print(text)

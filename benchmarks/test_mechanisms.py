@@ -1,0 +1,154 @@
+"""E8 — Section 6's mechanism claims.
+
+"This performance improvement is due to a reduction in the time spent
+servicing shared data cache misses and write faults as well as a reduction
+in the number of these events."  The three Dir1SW mechanisms behind it:
+
+* ``check_out_X`` eliminates read-then-write upgrade faults,
+* ``check_in`` empties the sharer counter, eliminating software traps and
+  hardware invalidations on later writes,
+* ``check_in`` of dirty data eliminates 4-hop recalls on later reads.
+
+This benchmark compares those event counts between the plain and
+Cachier-annotated runs of every communicating benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import variant_results
+from repro.harness.reporting import render_table
+from repro.harness.variants import CACHIER, PLAIN
+
+COMMUNICATING = ("matmul", "ocean", "mp3d", "barnes")
+
+
+@pytest.mark.parametrize("name", COMMUNICATING)
+def test_write_faults_reduced(benchmark, name):
+    _, results = variant_results(name)
+    delta = benchmark.pedantic(
+        lambda: (results[PLAIN].stats.write_faults,
+                 results[CACHIER].stats.write_faults),
+        rounds=1, iterations=1,
+    )
+    plain, cachier = delta
+    assert cachier < plain
+
+
+@pytest.mark.parametrize("name", COMMUNICATING)
+def test_recalls_reduced(benchmark, name):
+    _, results = variant_results(name)
+    plain, cachier = benchmark.pedantic(
+        lambda: (results[PLAIN].recalls, results[CACHIER].recalls),
+        rounds=1, iterations=1,
+    )
+    assert cachier < plain
+
+
+@pytest.mark.parametrize("name", COMMUNICATING)
+def test_stall_time_reduced(benchmark, name):
+    """The *time* spent servicing misses and faults drops, not just counts."""
+    _, results = variant_results(name)
+    plain, cachier = benchmark.pedantic(
+        lambda: (results[PLAIN].stats.stall_cycles,
+                 results[CACHIER].stats.stall_cycles),
+        rounds=1, iterations=1,
+    )
+    assert cachier < plain
+
+
+def test_sw_traps_mostly_eliminated(benchmark):
+    def traps():
+        return {
+            name: (variant_results(name)[1][PLAIN].sw_traps,
+                   variant_results(name)[1][CACHIER].sw_traps)
+            for name in COMMUNICATING
+        }
+
+    counts = benchmark.pedantic(traps, rounds=1, iterations=1)
+    for name, (plain, cachier) in counts.items():
+        assert cachier <= plain, name
+    # In aggregate the broadcast-invalidation slow path all but disappears.
+    total_plain = sum(p for p, _ in counts.values())
+    total_cachier = sum(c for _, c in counts.values())
+    assert total_cachier < 0.25 * total_plain
+
+
+def test_print_mechanism_table(benchmark, capsys):
+    def rows():
+        out = []
+        for name in COMMUNICATING:
+            _, results = variant_results(name)
+            plain, auto = results[PLAIN], results[CACHIER]
+            out.append([
+                name,
+                plain.stats.write_faults, auto.stats.write_faults,
+                plain.sw_traps, auto.sw_traps,
+                plain.recalls, auto.recalls,
+                plain.total_messages, auto.total_messages,
+            ])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["benchmark", "wf", "wf'", "traps", "traps'", "recalls",
+             "recalls'", "msgs", "msgs'"],
+            table,
+            title="E8: protocol events, plain vs Cachier-annotated (')",
+        ))
+
+
+def test_print_epoch_breakdown(benchmark, capsys):
+    """Where the gains land, epoch by epoch (matmul: init / compute / fold)."""
+    from repro.harness.experiments import epoch_breakdown
+
+    rows = benchmark.pedantic(
+        lambda: epoch_breakdown("matmul"), rounds=1, iterations=1
+    )
+    # The consumer (fold) epoch improves the most.
+    assert min(row[3] for row in rows[1:3]) < 0.9
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["epoch", "plain cycles", "cachier cycles", "normalized"], rows,
+            title="E8 addendum: per-epoch breakdown (matmul)",
+        ))
+
+
+def test_print_sharing_degrees(benchmark, capsys):
+    """The Section 6 sharing-degree discussion, from our traces: Ocean and
+    Mp3d put almost every miss on actively-shared blocks; Barnes and
+    Tomcatv are dominated by effectively-private data."""
+    from repro.harness.runner import trace_program
+    from repro.trace.stats import summarize
+    from repro.workloads.base import get_workload
+
+    def rows():
+        out = []
+        for name in ("ocean", "mp3d", "barnes", "tomcatv"):
+            spec = get_workload(name)
+            trace = trace_program(spec.program, spec.config, spec.params_fn)
+            s = summarize(trace)
+            out.append([
+                name,
+                f"{s.shared_miss_fraction:.1%}",
+                f"{s.multi_writer_fraction:.1%}",
+                s.total_misses,
+            ])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    by_name = {r[0]: float(r[1].rstrip("%")) for r in table}
+    assert by_name["ocean"] >= by_name["barnes"]
+    assert by_name["mp3d"] >= by_name["tomcatv"]
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["benchmark", "misses on shared blocks", "multi-writer blocks",
+             "total misses"],
+            table,
+            title="E8 addendum: sharing degree (cf. the Sec. 6 percentages)",
+        ))

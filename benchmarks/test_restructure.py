@@ -1,0 +1,43 @@
+"""E6 — Section 5: restructuring the racing multiply with CICO's guidance.
+
+The annotations Cachier inserts into the Section 4.4 program expose the
+cache-block race on C; the paper counts N^3 racing check-outs and
+restructures to local accumulation plus a locked, block-granular merge with
+only N^2*P/2 check-outs (N^2*P/4 raced).  This benchmark verifies the exact
+counts, that the restructured program is faster, and that it is *correct*
+where the racing one loses updates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import variant_results  # noqa: F401  (suite layout)
+from repro.harness.experiments import restructuring_outcome, restructuring_table
+
+N, NODES = 8, 4
+
+
+def test_restructuring_counts_and_speed(benchmark, capsys):
+    out = benchmark.pedantic(
+        lambda: restructuring_outcome(n=N, num_nodes=NODES),
+        rounds=1, iterations=1,
+    )
+    # Section 5's exact check-out arithmetic.
+    assert out.racing_checkouts == out.racing_expected == N ** 3
+    assert out.restructured_checkouts == out.restructured_expected
+    assert out.raced_expected == out.restructured_expected / 2
+    # Restructuring wins on communication...
+    assert out.restructured_cycles < out.racing_cycles
+    # ...and on correctness: the lock serialises the merge.
+    assert out.restructured_correct
+    with capsys.disabled():
+        print()
+        print(restructuring_table(n=N, num_nodes=NODES))
+
+
+def test_racing_version_can_lose_updates(benchmark):
+    """The paper: "this race can cause an incorrect result"."""
+    out = benchmark.pedantic(
+        lambda: restructuring_outcome(n=N, num_nodes=NODES),
+        rounds=1, iterations=1,
+    )
+    assert not out.racing_correct

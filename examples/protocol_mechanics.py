@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The three Dir1SW mechanisms CICO annotations exploit, in isolation.
+
+Tiny two-node kernels show exactly where the cycles go:
+
+1. **Upgrade elimination** — a location read before it is written holds a
+   SHARED copy at write time; the write faults (2 extra network hops, or a
+   software trap if others share it).  ``check_out_X`` before the read
+   acquires the block writable once.
+2. **Trap elimination** — writing a block that several processors hold
+   read-only traps Dir1SW into software broadcast invalidation.  If the
+   readers ``check_in`` when done, the sharer counter is zero and the write
+   is a plain memory miss.
+3. **Recall elimination** — reading a block another processor holds
+   exclusive-dirty takes a 4-hop recall.  A producer ``check_in`` puts the
+   data home, and consumers get 2-hop memory misses.
+
+Run:  python examples/protocol_mechanics.py
+"""
+
+from repro.coherence.costs import CostModel
+from repro.coherence.protocol import Dir1SWProtocol
+
+COST = CostModel()
+
+
+def proto() -> Dir1SWProtocol:
+    return Dir1SWProtocol(4, cache_size=4096, block_size=32, assoc=2,
+                          cost=COST)
+
+
+def mechanism_1() -> None:
+    print("1) read-then-write upgrade vs check_out_X")
+    p = proto()
+    read = p.read(0, 1)
+    fault = p.write(0, 1)
+    print(f"   plain:  read miss {read.cycles} + write fault "
+          f"{fault.cycles} ({fault.detail})")
+    p2 = proto()
+    co = p2.check_out(0, 1, exclusive=True)
+    r = p2.read(0, 1)
+    w = p2.write(0, 1)
+    print(f"   CICO:   check_out_X {co} + read {r.cycles} + write "
+          f"{w.cycles} (both hits)")
+
+
+def mechanism_2() -> None:
+    print("2) multi-sharer write trap vs reader check-ins")
+    p = proto()
+    for node in (1, 2, 3):
+        p.read(node, 1)
+    trap = p.write(0, 1)
+    print(f"   plain:  write with 3 sharers costs {trap.cycles} "
+          f"({trap.detail}; Dir1SW software broadcast)")
+    p2 = proto()
+    for node in (1, 2, 3):
+        p2.read(node, 1)
+        p2.check_in(node, 1)
+    clean = p2.write(0, 1)
+    print(f"   CICO:   after reader check-ins the write costs "
+          f"{clean.cycles} ({clean.detail})")
+
+
+def mechanism_3() -> None:
+    print("3) dirty-remote recall vs producer check-in")
+    p = proto()
+    p.write(0, 1)
+    recall = p.read(1, 1)
+    print(f"   plain:  consumer read costs {recall.cycles} "
+          f"({recall.detail}: 4 hops through the producer)")
+    p2 = proto()
+    p2.write(0, 1)
+    p2.check_in(0, 1)
+    mem = p2.read(1, 1)
+    print(f"   CICO:   after the producer checks in it costs "
+          f"{mem.cycles} ({mem.detail})")
+
+
+def main() -> None:
+    print(__doc__.split("Run:")[0])
+    mechanism_1()
+    mechanism_2()
+    mechanism_3()
+    print()
+    print(f"(net hop = {COST.net_hop} cycles, memory = {COST.mem_cycles}, "
+          f"software trap = {COST.sw_trap_cycles} + per-sharer acks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of *Cachier: A Tool for Automatically Inserting CICO
+Annotations* (Chilimbi & Larus, ICPP 1994).
+
+Public API map — each name re-exported here is the entry point a downstream
+user needs for one role:
+
+* **Writing programs**: :class:`ProgramBuilder`, :func:`parse_program`,
+  :func:`unparse_program`.
+* **Running them**: :class:`MachineConfig`, :func:`run_program`,
+  :func:`trace_program`.
+* **The tool**: :class:`Cachier`, :class:`Policy` (and the
+  ``cachier-annotate`` console script).
+* **The model**: :func:`estimate_costs` (static CICO cost reports),
+  :mod:`repro.cico.cost_model` (the paper's closed forms).
+* **The evaluation**: :func:`get_workload`, :mod:`repro.harness.figure6`
+  (and the ``cachier-figure6`` console script).
+"""
+
+from repro.cachier.annotator import Cachier, CachierResult, Policy
+from repro.cachier.reports import SharingReport
+from repro.cico.report import CostReport, estimate_costs
+from repro.harness.runner import run_program, trace_program
+from repro.lang.builder import ProgramBuilder
+from repro.lang.parse import parse_program
+from repro.lang.unparse import unparse_program
+from repro.machine.config import MachineConfig
+from repro.workloads.base import get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cachier",
+    "CachierResult",
+    "Policy",
+    "SharingReport",
+    "CostReport",
+    "estimate_costs",
+    "run_program",
+    "trace_program",
+    "ProgramBuilder",
+    "parse_program",
+    "unparse_program",
+    "MachineConfig",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Finite set-associative shared-data cache model."""
+
+from repro.cache.state import CacheLine, LineState
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.cache.stats import CacheStats
+
+__all__ = ["CacheLine", "LineState", "SetAssociativeCache", "CacheStats"]

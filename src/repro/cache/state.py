@@ -1,0 +1,33 @@
+"""Per-line coherence state.
+
+A node's shared-data cache holds blocks in one of two valid states —
+``SHARED`` (read-only copy) or ``EXCLUSIVE`` (writable, possibly dirty) —
+matching Dir1SW's per-cache view.  ``INVALID`` is represented by absence from
+the cache; the enum member exists only so protocol code can speak about it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LineState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One resident cache block."""
+
+    block: int
+    state: LineState
+    dirty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.state is LineState.INVALID:
+            raise ValueError("resident lines cannot be INVALID")
+        if self.dirty and self.state is not LineState.EXCLUSIVE:
+            raise ValueError("only EXCLUSIVE lines can be dirty")

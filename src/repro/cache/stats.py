@@ -1,0 +1,41 @@
+"""Per-cache event counters.
+
+These feed two places: the trace collector (miss records) and the
+evaluation harness (Section 6 reports reductions in shared-miss and
+write-fault counts and in the time spent servicing them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    write_faults: int = 0  # upgrades: write hit on a SHARED line
+    evictions: int = 0
+    writebacks: int = 0
+    checkins: int = 0
+    checkouts: int = 0
+    prefetches: int = 0
+    prefetch_useful: int = 0  # prefetch completed before the demand access
+    stall_cycles: int = 0  # cycles spent waiting on the memory system
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into ``self`` (for machine-wide totals)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.write_faults
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}

@@ -1,0 +1,40 @@
+"""Cachier: automatic insertion of CICO annotations (the paper's core).
+
+The pipeline (Sections 3.4 and 4):
+
+1. :mod:`repro.cachier.epochs` — fold the trace into per-(epoch, node) shared
+   read/write sets, applying the paper's write-fault processing.
+2. :mod:`repro.cachier.drfs` — detect data races and false sharing per epoch.
+3. :mod:`repro.cachier.equations` — the Section 4.1 set equations, in both
+   Programmer and Performance flavours.
+4. :mod:`repro.cachier.placement` / :mod:`repro.cachier.presentation` —
+   Section 4.2/4.3: where annotations go and how they are made readable
+   (epoch-boundary vs near-reference, cache-capacity spill, loop hoisting).
+5. :mod:`repro.cachier.annotator` — the tool itself:
+   ``Cachier(program, trace).annotate(policy)``.
+"""
+
+from repro.cachier.annotator import Cachier, CachierResult, Policy
+from repro.cachier.drfs import DrfsInfo, detect_all, detect_drfs
+from repro.cachier.epochs import EpochAccess, EpochTable
+from repro.cachier.equations import AnnotationSets, performance_cico, programmer_cico
+from repro.cachier.reports import SharingReport
+from repro.cachier.suggest import Advice, Suggestion, advise
+
+__all__ = [
+    "Cachier",
+    "CachierResult",
+    "Policy",
+    "DrfsInfo",
+    "detect_all",
+    "detect_drfs",
+    "EpochAccess",
+    "EpochTable",
+    "AnnotationSets",
+    "performance_cico",
+    "programmer_cico",
+    "SharingReport",
+    "Advice",
+    "Suggestion",
+    "advise",
+]

@@ -1,0 +1,151 @@
+"""``cachier-annotate``: run the tool on a built-in workload and print the
+annotated source, the annotation statistics and the sharing report.
+
+Example::
+
+    cachier-annotate --workload matmul_racing --policy performance
+    cachier-annotate --workload ocean --policy programmer --prefetch
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.harness.runner import trace_program
+from repro.lang.unparse import unparse_program
+from repro.trace.file_io import write_trace
+from repro.workloads.base import get_workload, registry
+
+
+def _spec_from_source(args):
+    """Build a WorkloadSpec-alike from a self-describing source file."""
+    import json
+    import os
+
+    from repro.lang.parse import parse_program
+    from repro.machine.config import MachineConfig
+    from repro.workloads.base import WorkloadSpec
+
+    text = open(args.source, "r", encoding="utf-8").read()
+    per_node: dict[int, dict] = {}
+    param_names: set[str] = set()
+    if args.params:
+        raw = (
+            open(args.params).read()
+            if os.path.exists(args.params)
+            else args.params
+        )
+        for node, env in json.loads(raw).items():
+            per_node[int(node)] = dict(env)
+            param_names |= set(env)
+    program = parse_program(text, arrays=None, params=param_names)
+    return WorkloadSpec(
+        name=os.path.basename(args.source),
+        program=program,
+        params_fn=lambda node: per_node.get(node, {}),
+        config=MachineConfig(
+            num_nodes=args.nodes, cache_size=8192, block_size=32, assoc=4
+        ),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload", default="matmul_racing", choices=sorted(registry())
+    )
+    parser.add_argument(
+        "--source", metavar="FILE",
+        help="annotate a pseudocode source file instead of a built-in "
+             "workload; the file must carry inline `array` declarations "
+             "(see unparse_program(declarations=True))",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4,
+        help="processor count for --source runs (default 4)",
+    )
+    parser.add_argument(
+        "--params", metavar="JSON",
+        help="for --source: per-node parameter bindings as JSON, either "
+             'inline or a file path, e.g. \'{"0": {"Lo": 0, "Hi": 7}}\'',
+    )
+    parser.add_argument(
+        "--policy",
+        default="performance",
+        choices=[p.value for p in Policy],
+    )
+    parser.add_argument("--prefetch", action="store_true")
+    parser.add_argument(
+        "--history", type=int, default=1, help="epoch history depth (paper: 1)"
+    )
+    parser.add_argument(
+        "--save-trace", metavar="PATH", help="also write the trace file"
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the data-race report"
+    )
+    parser.add_argument(
+        "--cost-report", action="store_true",
+        help="print the static CICO cost estimate for the annotated program",
+    )
+    parser.add_argument(
+        "--suggest", action="store_true",
+        help="print restructuring suggestions (locks / padding / "
+             "privatization) derived from the sharing report",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="also write the annotated source to a file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.source:
+        spec = _spec_from_source(args)
+    else:
+        spec = get_workload(args.workload)
+    trace = trace_program(spec.program, spec.config, spec.params_fn)
+    if args.save_trace:
+        write_trace(trace, args.save_trace)
+    cachier = Cachier(
+        spec.program,
+        trace,
+        params_fn=spec.params_fn,
+        cache_size=spec.cachier_cache_size,
+    )
+    result = cachier.annotate(
+        Policy(args.policy), prefetch=args.prefetch, history=args.history
+    )
+    print(f"// {spec.name}: {args.policy} CICO"
+          + (" + prefetch" if args.prefetch else ""))
+    print(unparse_program(result.program))
+    stats = result.stats
+    print(
+        f"// annotations: {stats.boundary} at epoch boundaries, "
+        f"{stats.near} near references ({stats.hoisted} hoisted), "
+        f"{stats.prefetches} prefetch sites, {stats.comments} flags"
+    )
+    if args.report:
+        print(result.report.render())
+    if args.cost_report:
+        from repro.cico.report import estimate_costs
+
+        cost = estimate_costs(
+            result.program,
+            spec.params_fn,
+            spec.config.num_nodes,
+            block_size=spec.config.block_size,
+        )
+        print(cost.render())
+    if args.suggest:
+        from repro.cachier.suggest import advise
+
+        print(advise(result.report).render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(unparse_program(result.program))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

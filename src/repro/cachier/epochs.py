@@ -1,0 +1,161 @@
+"""Per-(epoch, node) access sets from the trace.
+
+Section 4's trace processing: *"removing addresses involved in shared write
+faults from the list of shared read misses, updating the list of shared
+write misses to include addresses involved in shared write faults"*.
+Concretely, for epoch *i* and processor *p*:
+
+* ``SW`` = shared write misses + shared write faults,
+* ``SR`` = shared read misses - shared write faults,
+* ``S``  = ``SW`` + ``SR``,
+* ``WF`` = the write-fault addresses alone (Performance CICO needs them:
+  they are the read-then-written locations whose upgrade a ``check_out_X``
+  would eliminate).
+
+Granularity: check-out/check-in operate on *cache blocks* ("the cache block
+containing a specified address"), and a trace miss record names whichever
+element of the block happened to fault first — re-misses on a ping-ponging
+block can record several different elements of one block.  The sets above
+are therefore canonicalized to **block base addresses**.  The raw element
+addresses are retained per block for two consumers that need them:
+
+* DRFS classification — a *data race* is two processors on the same raw
+  address, *false sharing* is two processors on different raw addresses of
+  the same block (Section 4);
+* the programmer-facing sharing report.
+
+PCs are retained per block so the placement stage can find the referencing
+statements: ``read_pc`` maps a block address to the pc of its first read
+miss, ``write_pc`` to the pc of its first write miss or fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.records import MissKind, Trace
+
+
+@dataclass
+class RawAccess:
+    """Who touched one raw element address within an epoch."""
+
+    readers: set[int] = field(default_factory=set)
+    writers: set[int] = field(default_factory=set)
+
+    @property
+    def nodes(self) -> set[int]:
+        return self.readers | self.writers
+
+
+@dataclass
+class EpochAccess:
+    """One processor's shared accesses within one epoch (block granular)."""
+
+    sw: set[int] = field(default_factory=set)
+    sr: set[int] = field(default_factory=set)
+    wf: set[int] = field(default_factory=set)
+    read_pc: dict[int, int] = field(default_factory=dict)
+    write_pc: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def s(self) -> set[int]:
+        return self.sw | self.sr
+
+    def pc_for(self, addr: int) -> int:
+        """Best-known pc referencing ``addr``: prefer the read site (a
+        check-out must precede the first read), else the write site."""
+        pc = self.read_pc.get(addr)
+        if pc is None:
+            pc = self.write_pc.get(addr, -1)
+        return pc
+
+
+_EMPTY = EpochAccess()
+
+
+class EpochTable:
+    """All epochs of a trace: ``table[epoch][node] -> EpochAccess``."""
+
+    def __init__(self, trace: Trace, block_size: int | None = None):
+        self.trace = trace
+        self.block_size = block_size or trace.block_size
+        self.num_epochs = trace.num_epochs()
+        self._table: dict[int, dict[int, EpochAccess]] = {}
+        self._touches: dict[int, list[tuple[int, int]]] | None = None
+        #: epoch -> block base -> raw addr -> RawAccess (for DRFS/reports)
+        self.raw: dict[int, dict[int, dict[int, RawAccess]]] = {}
+        bs = self.block_size
+        for rec in trace.misses:
+            base = (rec.addr // bs) * bs
+            acc = self._table.setdefault(rec.epoch, {}).setdefault(
+                rec.node, EpochAccess()
+            )
+            raw = (
+                self.raw.setdefault(rec.epoch, {})
+                .setdefault(base, {})
+                .setdefault(rec.addr, RawAccess())
+            )
+            if rec.kind is MissKind.READ_MISS:
+                acc.sr.add(base)
+                acc.read_pc.setdefault(base, rec.pc)
+                raw.readers.add(rec.node)
+            elif rec.kind is MissKind.WRITE_MISS:
+                acc.sw.add(base)
+                acc.write_pc.setdefault(base, rec.pc)
+                raw.writers.add(rec.node)
+            else:  # WRITE_FAULT
+                acc.wf.add(base)
+                acc.write_pc.setdefault(base, rec.pc)
+                raw.writers.add(rec.node)
+        # Write-fault folding: faults join SW and leave SR.
+        for per_node in self._table.values():
+            for acc in per_node.values():
+                acc.sw |= acc.wf
+                acc.sr -= acc.sw
+
+    def get(self, epoch: int, node: int) -> EpochAccess:
+        """Access sets (empty outside the trace — SW[-1] = S[n] = {})."""
+        return self._table.get(epoch, {}).get(node, _EMPTY)
+
+    def nodes_in(self, epoch: int) -> list[int]:
+        return sorted(self._table.get(epoch, {}))
+
+    def epochs(self) -> list[int]:
+        return sorted(self._table)
+
+    def raw_in(self, epoch: int) -> dict[int, dict[int, RawAccess]]:
+        return self.raw.get(epoch, {})
+
+    def sw_any(self, epoch: int) -> set[int]:
+        """Union of SW over all processors in ``epoch`` (Performance CICO's
+        "will be written by *some* processor in the next epoch")."""
+        out: set[int] = set()
+        for acc in self._table.get(epoch, {}).values():
+            out |= acc.sw
+        return out
+
+    def touched_later_by_other(self, epoch: int, node: int, addrs: set[int]) -> set[int]:
+        """Subset of ``addrs`` that some processor other than ``node``
+        touches in any epoch after ``epoch``.
+
+        A check-in only pays off if another processor will want the block:
+        it spares that processor a recall or an invalidation.  Flushing a
+        block only its owner ever touches just forces the owner to re-fetch
+        it.  The whole trace is available to Cachier, so this is ordinary
+        dynamic information."""
+        touches = self._touches
+        if touches is None:
+            touches = {}
+            for ep, per_node in self._table.items():
+                for nd, acc in per_node.items():
+                    for addr in acc.s:
+                        touches.setdefault(addr, []).append((ep, nd))
+            self._touches = touches
+        out: set[int] = set()
+        for addr in addrs:
+            for ep, nd in touches.get(addr, ()):
+                if ep > epoch and nd != node:
+                    out.add(addr)
+                    break
+        return out

@@ -1,0 +1,511 @@
+"""Annotation presentation: applying a plan to the AST, readably.
+
+This is Section 4.3: *"Cachier uses the program's abstract syntax tree to
+analyze its loop structure...  This process involves collapsing annotations,
+either by placing them inside program loops, or by generating new loops for
+them."*
+
+Near-reference operations arrive as (statement pc, kind, array); the
+presenter derives the concrete target from the statement's *own index
+expressions* (static information) and then **hoists** the annotation out of
+enclosing loops when the target is indexed by the loop's induction variable:
+``check_out_S B[k, j]`` inside the ``j`` loop becomes
+``check_out_S B[k, Ljp:Ujp]`` before it — the exact transformation in the
+Section 4.4 example — subject to the cache-capacity budget and never for
+raced/falsely-shared targets.
+
+Raced / falsely-shared annotations also get the paper's source flags::
+
+    /*** Data Race on C[i, j] ***/
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachier.mapping import ParamEnv
+from repro.cachier.placement import Anchor, BoundaryOp, NearOp, Plan
+from repro.errors import CachierError
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    AnnotTarget,
+    Assign,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Local,
+    Param,
+    Program,
+    RangeSpec,
+    Stmt,
+    Store,
+    Un,
+    While,
+    fresh_pcs,
+)
+from repro.lang.loops import StmtIndex, StmtLocation, is_invariant, match_loop_index
+from repro.lang.unparse import target_str
+from repro.mem.labels import LabelTable
+
+_PREFETCH_OF = {
+    AnnotKind.CHECK_OUT_X: AnnotKind.PREFETCH_X,
+    AnnotKind.CHECK_OUT_S: AnnotKind.PREFETCH_S,
+}
+
+
+# ------------------------------------------------------------------ expr utils
+def find_array_ref(stmt: Stmt, array: str) -> tuple[Expr, ...] | None:
+    """Index expressions with which ``stmt`` references ``array``."""
+    if isinstance(stmt, Store) and stmt.array == array:
+        return stmt.indices
+    for expr in _stmt_exprs(stmt):
+        found = _find_load(expr, array)
+        if found is not None:
+            return found
+    return None
+
+
+def _stmt_exprs(stmt: Stmt):
+    if isinstance(stmt, Assign):
+        yield stmt.expr
+    elif isinstance(stmt, Store):
+        yield from stmt.indices
+        yield stmt.expr
+    elif isinstance(stmt, (If, While)):
+        yield stmt.cond
+    elif isinstance(stmt, CallStmt):
+        yield from stmt.args
+    elif isinstance(stmt, For):
+        yield stmt.lo
+        yield stmt.hi
+
+
+def _find_load(expr: Expr, array: str) -> tuple[Expr, ...] | None:
+    t = type(expr)
+    if t is Load:
+        if expr.array == array:
+            return expr.indices
+        for index in expr.indices:
+            found = _find_load(index, array)
+            if found is not None:
+                return found
+        return None
+    if t is Bin:
+        return _find_load(expr.left, array) or _find_load(expr.right, array)
+    if t is Un:
+        return _find_load(expr.operand, array)
+    return None
+
+
+def subst_local(expr: Expr, var: str, repl: Expr) -> Expr:
+    """``expr`` with every ``Local(var)`` replaced by ``repl``."""
+    t = type(expr)
+    if t is Local and expr.name == var:
+        return repl
+    if t is Bin:
+        return Bin(expr.op, subst_local(expr.left, var, repl),
+                   subst_local(expr.right, var, repl))
+    if t is Un:
+        return Un(expr.op, subst_local(expr.operand, var, repl))
+    if t is Load:
+        return Load(expr.array, tuple(subst_local(i, var, repl) for i in expr.indices))
+    return expr
+
+
+def _expr_has_load(expr: Expr) -> bool:
+    t = type(expr)
+    if t is Load:
+        return True
+    if t is Bin:
+        return _expr_has_load(expr.left) or _expr_has_load(expr.right)
+    if t is Un:
+        return _expr_has_load(expr.operand)
+    return False
+
+
+def spec_has_load(spec) -> bool:
+    if isinstance(spec, RangeSpec):
+        return any(_expr_has_load(e) for e in (spec.lo, spec.hi, spec.step))
+    return _expr_has_load(spec)
+
+
+def _spec_uses_var(spec, var: str) -> bool:
+    from repro.lang.loops import expr_locals
+
+    if isinstance(spec, RangeSpec):
+        return any(var in expr_locals(e) for e in (spec.lo, spec.hi, spec.step))
+    return var in expr_locals(spec)
+
+
+# --------------------------------------------------------------------- presenter
+@dataclass
+class PresentationStats:
+    boundary: int = 0
+    near: int = 0
+    hoisted: int = 0
+    prefetches: int = 0
+    comments: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Insert:
+    block: list | None  # None => function start/end
+    anchor: Stmt | None
+    position: str  # before/after/start/end
+    stmts: list[Stmt]
+    func: str = ""
+
+
+class Presenter:
+    def __init__(
+        self,
+        program: Program,
+        labels: LabelTable,
+        env: ParamEnv,
+        budget: int,
+        prefetch: bool = False,
+        max_hoist_levels: int = 1,
+    ):
+        self.program = program  # the clone being annotated (mutated in place)
+        self.labels = labels
+        self.env = env
+        self.budget = budget
+        self.prefetch = prefetch
+        self.max_hoist_levels = max_hoist_levels
+        self.stats = PresentationStats()
+        self._index = StmtIndex(program)
+        self._inserts: list[_Insert] = []
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------ apply
+    def apply(self, plan: Plan) -> PresentationStats:
+        for op in plan.boundary:
+            self._apply_boundary(op)
+        # Check-outs before check-ins at the same site keeps co/ci pairs
+        # reading naturally; 'before' ops first so comments hug statements.
+        for op in plan.near:
+            if op.position == "before":
+                self._apply_near(op)
+        for op in plan.near:
+            if op.position == "after":
+                self._apply_near(op)
+        for op in plan.prefetch:
+            self._apply_pipeline(op)
+        self._flush()
+        return self.stats
+
+    # ---------------------------------------------------------------- boundary
+    def _apply_boundary(self, op: BoundaryOp) -> None:
+        stmts: list[Stmt] = [Annot(kind=op.annot, targets=(op.target,))]
+        if op.guard_node is not None:
+            stmts = [
+                If(
+                    cond=Bin("==", Param("me"), Const(op.guard_node)),
+                    then=stmts,
+                    els=[],
+                )
+            ]
+        elif op.guard_not_node is not None:
+            stmts = [
+                If(
+                    cond=Bin("!=", Param("me"), Const(op.guard_not_node)),
+                    then=stmts,
+                    els=[],
+                )
+            ]
+        key = ("boundary", op.anchor, op.annot, target_str(op.target),
+               op.guard_node, op.guard_not_node)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        anchor = op.anchor
+        if anchor.kind == "func_start":
+            self._inserts.append(_Insert(None, None, "start", stmts, str(anchor.where)))
+        elif anchor.kind == "func_end":
+            self._inserts.append(_Insert(None, None, "end", stmts, str(anchor.where)))
+        else:
+            loc = self._index.locate(int(anchor.where))
+            position = "after" if anchor.kind == "after_pc" else "before"
+            self._inserts.append(_Insert(loc.block, loc.stmt, position, stmts))
+        self.stats.boundary += 1
+
+    # -------------------------------------------------------------------- near
+    def _apply_near(self, op: NearOp) -> None:
+        if op.pc not in self._index:
+            self.stats.skipped.append(f"pc {op.pc} not found for {op.annot}")
+            return
+        loc = self._index.locate(op.pc)
+        indices = find_array_ref(loc.stmt, op.array)
+        if indices is None:
+            self.stats.skipped.append(
+                f"no reference to {op.array!r} at pc {op.pc} for {op.annot}"
+            )
+            return
+        specs: tuple = tuple(indices)
+        anchor_loc = loc
+        if not op.drfs:
+            anchor_loc, specs, levels = self._hoist(loc, specs, op.array)
+            self.stats.hoisted += levels
+        target = AnnotTarget(array=op.array, specs=specs)
+        key = (
+            "near",
+            id(anchor_loc.stmt),
+            op.position,
+            op.annot,
+            target_str(target),
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        stmts: list[Stmt] = [Annot(kind=op.annot, targets=(target,))]
+        if op.comment:
+            rendered = target_str(AnnotTarget(array=op.array, specs=tuple(indices)))
+            stmts.append(Comment(text=f"{op.comment} {rendered}"))
+            self.stats.comments += 1
+        if op.position == "after":
+            stmts.reverse()
+        self._inserts.append(
+            _Insert(anchor_loc.block, anchor_loc.stmt, op.position, stmts)
+        )
+        self.stats.near += 1
+
+    # ------------------------------------------------------------------- hoist
+    def _hoist(
+        self,
+        loc: StmtLocation,
+        specs: tuple,
+        array: str,
+        for_prefetch: bool = False,
+    ) -> tuple[StmtLocation, tuple, int]:
+        """Hoist out of up to ``max_hoist_levels`` enclosing loops.
+
+        A level hoists only if every index spec is either the loop's
+        induction variable (becoming a range over the loop bounds) or loop
+        invariant, and the widened target still fits the capacity budget.
+        Prefetch sites additionally hoist through loops their target does
+        not depend on at all (pure de-duplication) and get two extra levels
+        — a prefetch does not *hold* the block, so wider is safer."""
+        levels = 0
+        hoists = 0
+        max_levels = self.max_hoist_levels + (2 if for_prefetch else 0)
+        current_loc = loc
+        current_specs = specs
+        # Locals that remain meaningful outside a loop are exactly the
+        # induction variables of loops still enclosing the hoist point; any
+        # other local (e.g. an index loaded from another array) pins the
+        # annotation to its statement.
+        loop_vars = {l.var for l in loc.loops}
+        from repro.lang.loops import expr_locals
+
+        def _spec_locals(spec) -> set[str]:
+            if isinstance(spec, RangeSpec):
+                return (expr_locals(spec.lo) | expr_locals(spec.hi)
+                        | expr_locals(spec.step))
+            return expr_locals(spec)
+
+        if any(_spec_locals(s) - loop_vars for s in specs):
+            return loc, specs, 0
+        for loop in reversed(loc.loops):
+            # Never move an annotation across an epoch boundary: a loop
+            # whose body synchronises re-establishes coherence state every
+            # iteration, so per-iteration annotations are not redundant.
+            if self._loop_has_barrier(loop):
+                break
+            new_specs: list = []
+            matched = False
+            ok = True
+            for spec in current_specs:
+                if isinstance(spec, RangeSpec):
+                    if _spec_uses_var(spec, loop.var):
+                        ok = False
+                        break
+                    new_specs.append(spec)
+                    continue
+                offset = match_loop_index(spec, loop)
+                if offset is not None:
+                    lo: Expr = loop.lo
+                    hi: Expr = loop.hi
+                    if offset:
+                        lo = Bin("+", lo, Const(offset))
+                        hi = Bin("+", hi, Const(offset))
+                    new_specs.append(RangeSpec(lo=lo, hi=hi, step=loop.step))
+                    matched = True
+                elif is_invariant(spec, loop):
+                    new_specs.append(spec)
+                else:
+                    ok = False
+                    break
+            if not ok:
+                break
+            # Invariant-only levels (the loop never changes the target) are
+            # pure de-duplication and always allowed; levels that widen the
+            # target count against the hoist budget.
+            if matched and hoists >= max_levels:
+                break
+            target = AnnotTarget(array=array, specs=tuple(new_specs))
+            if self._target_bytes(target) > self.budget:
+                break
+            current_specs = tuple(new_specs)
+            current_loc = self._index.locate(loop.pc)
+            if matched:
+                hoists += 1
+            levels += 1
+        return current_loc, current_specs, levels
+
+    def _loop_has_barrier(self, loop) -> bool:
+        cached = getattr(loop, "_has_barrier", None)
+        if cached is None:
+            from repro.lang.ast import Barrier, walk_stmts
+
+            cached = any(isinstance(s, Barrier) for s in walk_stmts(loop.body))
+            try:
+                loop._has_barrier = cached
+            except AttributeError:
+                pass  # slots: recompute next time
+        return cached
+
+    def _target_bytes(self, target: AnnotTarget) -> int:
+        """Worst-case per-node footprint of a target, in bytes."""
+        if not target.array or target.array not in self.labels:
+            # Unknown: size from spec lengths only, 8-byte elements.
+            elem, shape = 8, None
+        else:
+            label = self.labels.get(target.array)
+            elem, shape = label.elem_size, label.shape
+        total = 1
+        for dim, spec in enumerate(target.specs):
+            extent = shape[dim] if shape else 1 << 30
+            total *= self._spec_len(spec, extent)
+        return total * elem
+
+    def _spec_len(self, spec, extent: int) -> int:
+        if not isinstance(spec, RangeSpec):
+            return 1
+        best = 0
+        for node in range(self.env.num_nodes):
+            lo = self.env.eval_expr(node, spec.lo)
+            hi = self.env.eval_expr(node, spec.hi)
+            step = self.env.eval_expr(node, spec.step)
+            if lo is None or hi is None or not step:
+                return extent  # can't evaluate: assume the whole dimension
+            best = max(best, max(0, (hi - lo) // step + 1))
+        return best
+
+    # ---------------------------------------------------------------- prefetch
+    def _apply_pipeline(self, op: NearOp) -> None:
+        """Software-pipelined prefetch: at the (hoisted) reference site,
+        issue a prefetch for the *next* iteration's target, guarded against
+        running off the loop.
+
+        Only statically-analyzable targets qualify: index expressions that
+        themselves load shared memory (pointer chasing / index indirection)
+        cannot be computed ahead of the access — the reason prefetch buys
+        little for Barnes' pointer structures (Section 6)."""
+        if op.pc not in self._index:
+            self.stats.skipped.append(f"pc {op.pc} not found for {op.annot}")
+            return
+        loc = self._index.locate(op.pc)
+        indices = find_array_ref(loc.stmt, op.array)
+        if indices is None:
+            self.stats.skipped.append(
+                f"no reference to {op.array!r} at pc {op.pc} for {op.annot}"
+            )
+            return
+        if any(_expr_has_load(e) for e in indices):
+            self.stats.skipped.append(
+                f"{op.array!r} at pc {op.pc}: indirect index, not prefetchable"
+            )
+            return
+        def pipeline_loop(anchor, target_specs):
+            # Innermost enclosing loop the target depends on.
+            for candidate in reversed(anchor.loops):
+                if any(_spec_uses_var(s, candidate.var) for s in target_specs):
+                    return candidate
+            return None
+
+        # Prefer a wide hoist, but never hoist so far that no enclosing loop
+        # remains to pipeline over (a prefetch with nothing ahead of it is
+        # just a check-out that returns no data).
+        loop = None
+        for prefetch_mode in (True, False, None):
+            if prefetch_mode is None:
+                anchor_loc, specs = loc, tuple(indices)
+            else:
+                anchor_loc, specs, _ = self._hoist(
+                    loc, tuple(indices), op.array, for_prefetch=prefetch_mode
+                )
+            loop = pipeline_loop(anchor_loc, specs)
+            if loop is not None:
+                break
+        if loop is None:
+            return  # nothing to pipeline over
+        next_var = Bin("+", Local(loop.var), loop.step)
+        shifted: list = []
+        for spec in specs:
+            if isinstance(spec, RangeSpec):
+                shifted.append(
+                    RangeSpec(
+                        lo=subst_local(spec.lo, loop.var, next_var),
+                        hi=subst_local(spec.hi, loop.var, next_var),
+                        step=spec.step,
+                    )
+                )
+            else:
+                shifted.append(subst_local(spec, loop.var, next_var))
+        pf_target = AnnotTarget(array=op.array, specs=tuple(shifted))
+        key = ("pipeline", id(anchor_loc.stmt), op.annot, target_str(pf_target))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        guard = If(
+            cond=Bin("<=", next_var, loop.hi),
+            then=[Annot(kind=op.annot, targets=(pf_target,))],
+            els=[],
+        )
+        self._inserts.append(
+            _Insert(anchor_loc.block, anchor_loc.stmt, "before", [guard])
+        )
+        self.stats.prefetches += 1
+
+    # ------------------------------------------------------------------- flush
+    def _flush(self) -> None:
+        """Apply all collected insertions to the AST."""
+        groups: dict[tuple[int, str], _Insert] = {}
+        order: list[tuple[int, str]] = []
+        for insert in self._inserts:
+            key = (id(insert.anchor) if insert.anchor is not None else hash(insert.func),
+                   insert.position)
+            if key in groups:
+                groups[key].stmts.extend(insert.stmts)
+            else:
+                groups[key] = _Insert(
+                    insert.block, insert.anchor, insert.position,
+                    list(insert.stmts), insert.func,
+                )
+                order.append(key)
+        for key in order:
+            insert = groups[key]
+            fresh_pcs(self.program, insert.stmts)
+            if insert.position == "start":
+                self.program.function(insert.func).body[0:0] = insert.stmts
+            elif insert.position == "end":
+                self.program.function(insert.func).body.extend(insert.stmts)
+            else:
+                block = insert.block
+                try:
+                    at = next(
+                        i for i, s in enumerate(block) if s is insert.anchor
+                    )
+                except StopIteration:
+                    raise CachierError("insertion anchor vanished from its block")
+                if insert.position == "before":
+                    block[at:at] = insert.stmts
+                else:
+                    block[at + 1 : at + 1] = insert.stmts

@@ -1,0 +1,94 @@
+"""Data-race and false-sharing reports.
+
+Beyond inserting annotations, Cachier "informs a programmer of potential
+data races and false sharing" (Section 1) so they can add locks or pad data
+structures (Section 4.3).  This module renders that report with addresses
+resolved to program variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachier.drfs import DrfsInfo
+from repro.mem.labels import LabelTable
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    epoch: int
+    var: str  # resolved VarRef (or hex address if unlabelled)
+    nodes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FalseSharingFinding:
+    epoch: int
+    block: int
+    vars: tuple[str, ...]
+
+
+@dataclass
+class SharingReport:
+    races: list[RaceFinding] = field(default_factory=list)
+    false_sharing: list[FalseSharingFinding] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls, drfs: dict[int, DrfsInfo], labels: LabelTable
+    ) -> "SharingReport":
+        report = cls()
+
+        def resolve(addr: int) -> str:
+            label = labels.find(addr)
+            return str(label.ref_of(addr)) if label else f"{addr:#x}"
+
+        for epoch in sorted(drfs):
+            info = drfs[epoch]
+            for block in sorted(info.races):
+                nodes = tuple(sorted(info.race_nodes.get(block, ())))
+                for addr in sorted(info.race_addrs.get(block, {block})):
+                    report.races.append(
+                        RaceFinding(epoch=epoch, var=resolve(addr), nodes=nodes)
+                    )
+            for block in sorted(info.false_shared):
+                addrs = sorted(info.fs_addrs.get(block, {block}))
+                report.false_sharing.append(
+                    FalseSharingFinding(
+                        epoch=epoch,
+                        block=block,
+                        vars=tuple(resolve(a) for a in addrs),
+                    )
+                )
+        return report
+
+    # -------------------------------------------------------------- rendering
+    def race_vars(self) -> set[str]:
+        return {finding.var for finding in self.races}
+
+    def false_sharing_vars(self) -> set[str]:
+        return {var for finding in self.false_sharing for var in finding.vars}
+
+    def render(self) -> str:
+        lines: list[str] = []
+        if self.races:
+            lines.append("Potential data races (use locks to serialise):")
+            for finding in self.races:
+                nodes = ", ".join(str(n) for n in finding.nodes)
+                lines.append(
+                    f"  epoch {finding.epoch}: {finding.var} "
+                    f"(processors {nodes})"
+                )
+        else:
+            lines.append("No potential data races detected.")
+        if self.false_sharing:
+            lines.append("False sharing (pad the data structures):")
+            for finding in self.false_sharing:
+                joined = ", ".join(finding.vars)
+                lines.append(
+                    f"  epoch {finding.epoch}: cache block {finding.block} "
+                    f"holds {joined}"
+                )
+        else:
+            lines.append("No false sharing detected.")
+        return "\n".join(lines) + "\n"

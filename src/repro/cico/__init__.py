@@ -1,0 +1,26 @@
+"""The CICO programming performance model (paper Section 2)."""
+
+from repro.cico.annotations import AnnotKind, annotation_overhead_cycles
+from repro.cico.report import CostReport, SiteEstimate, estimate_costs
+from repro.cico.cost_model import (
+    CicoCostModel,
+    jacobi_checkouts_cache_fits,
+    jacobi_checkouts_column_fits,
+    matmul_original_c_checkouts,
+    matmul_restructured_c_checkouts,
+    matmul_restructured_raced_checkouts,
+)
+
+__all__ = [
+    "AnnotKind",
+    "annotation_overhead_cycles",
+    "CicoCostModel",
+    "CostReport",
+    "SiteEstimate",
+    "estimate_costs",
+    "jacobi_checkouts_cache_fits",
+    "jacobi_checkouts_column_fits",
+    "matmul_original_c_checkouts",
+    "matmul_restructured_c_checkouts",
+    "matmul_restructured_raced_checkouts",
+]

@@ -1,0 +1,28 @@
+"""CICO annotation vocabulary.
+
+The model consists of five annotations (Section 1): ``check_out_X``
+(exclusive), ``check_out_S`` (shared), ``check_in``, ``prefetch_X`` and
+``prefetch_S``.  They never affect program semantics — only performance —
+which is what licenses Cachier's aggressive, trace-driven insertion.
+
+The IR-level enum lives in :mod:`repro.lang.ast`; it is re-exported here so
+model-level code can speak CICO without importing the language.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.costs import CostModel
+from repro.lang.ast import AnnotKind
+
+__all__ = ["AnnotKind", "annotation_overhead_cycles"]
+
+
+def annotation_overhead_cycles(count: int, cost: CostModel | None = None) -> int:
+    """Issue overhead of ``count`` executed annotations.
+
+    Under Dir1SW an annotation that does not change any coherence state still
+    costs its address-generation/translation overhead — the reason
+    Performance CICO drops redundant ``check_out_S`` annotations entirely
+    (Section 4.4)."""
+    cost = cost or CostModel()
+    return count * cost.directive_cycles

@@ -1,0 +1,106 @@
+"""The CICO analytic cost model (paper Section 2.1).
+
+CICO attributes a program's communication cost to its annotations by
+counting checked-out cache blocks.  Section 2.1 derives closed forms for
+Jacobi relaxation on an N x N matrix over P^2 processors with b elements per
+cache block:
+
+* if each processor's block of the matrix fits in its cache, the matrix is
+  checked out once and only boundary rows/columns move every time step::
+
+      total = 2*N*P*T*(1+b)/b + N^2/b
+
+* if only individual columns fit, the matrix is re-checked-out every step::
+
+      total = (2*N*P*(1+b)/b + N^2/b) * T
+
+Section 5 counts check-outs for the racing matrix multiply: the original
+program checks out C's elements N^3 times (all racing); the restructured one
+only N^2*P/2 times, of which N^2*P/4 race (and those are lock-protected).
+
+These functions are the ground truth the E2/E6 benchmarks compare simulated
+check-out counts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.costs import CostModel
+from repro.errors import ReproError
+
+
+def _check(N: int, P: int, b: int) -> None:
+    if P <= 0 or N <= 0 or b <= 0:
+        raise ReproError(f"bad Jacobi parameters N={N} P={P} b={b}")
+    if N % P:
+        raise ReproError(f"N={N} must be a multiple of P={P}")
+
+
+def jacobi_checkouts_cache_fits(N: int, P: int, b: int, T: int) -> float:
+    """Total blocks checked out by all P^2 processors over T steps when each
+    processor's matrix block fits in cache: ``2NPT(1+b)/b + N^2/b``."""
+    _check(N, P, b)
+    return 2 * N * P * T * (1 + b) / b + N * N / b
+
+
+def jacobi_checkouts_column_fits(N: int, P: int, b: int, T: int) -> float:
+    """Total when only individual columns fit: ``(2NP(1+b)/b + N^2/b) * T``."""
+    _check(N, P, b)
+    return (2 * N * P * (1 + b) / b + N * N / b) * T
+
+
+def jacobi_boundary_checkouts_per_step(N: int, P: int, b: int) -> float:
+    """Boundary rows+columns checked out per processor per time step:
+    ``2N(1+b)/(bP)`` (2N/bP column blocks + 2N/P row blocks)."""
+    _check(N, P, b)
+    return 2 * N * (1 + b) / (b * P)
+
+
+def matmul_original_c_checkouts(N: int) -> int:
+    """Original Section 4.4 algorithm: ``N * N/P * N/P * P^2 = N^3`` racing
+    check-outs of C elements across all processors."""
+    return N ** 3
+
+
+def matmul_restructured_c_checkouts(N: int, P: int) -> float:
+    """Restructured Section 5 version: ``2 * N * N/(4P) * P^2 = N^2 P / 2``
+    (each processor copies its C block out and back, 4 elements per block)."""
+    return N * N * P / 2
+
+
+def matmul_restructured_raced_checkouts(N: int, P: int) -> float:
+    """Of those, only the copy-back half races (lock-protected): N^2 P / 4."""
+    return N * N * P / 4
+
+
+@dataclass(frozen=True, slots=True)
+class CicoCostModel:
+    """Attribute communication cost to annotation counts.
+
+    The CICO cost model charges each checked-out block a transfer cost and
+    each annotation an issue overhead; this mirrors the paper's "measure of
+    the communication incurred by non-local data references as well as the
+    cache-coherence protocol overhead"."""
+
+    cost: CostModel = CostModel()
+
+    def checkout_cost(self, blocks: int, remote_fraction: float = 1.0) -> float:
+        """Cycles attributed to ``blocks`` check-outs, ``remote_fraction`` of
+        which transfer data across the network."""
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ReproError(f"bad remote_fraction {remote_fraction}")
+        per_block = (
+            self.cost.directive_cycles
+            + remote_fraction * self.cost.miss_from_memory()
+        )
+        return blocks * per_block
+
+    def checkin_cost(self, blocks: int) -> float:
+        return blocks * self.cost.directive_cycles
+
+    def program_cost(self, checkouts: int, checkins: int,
+                     remote_fraction: float = 1.0) -> float:
+        return self.checkout_cost(checkouts, remote_fraction) + self.checkin_cost(
+            checkins
+        )

@@ -1,0 +1,17 @@
+"""Dir1SW directory cache-coherence protocol with CICO directive support."""
+
+from repro.coherence.costs import CostModel
+from repro.coherence.directory import DirEntry, Directory, DirState
+from repro.coherence.messages import MessageKind
+from repro.coherence.protocol import AccessResult, AccessKind, Dir1SWProtocol
+
+__all__ = [
+    "CostModel",
+    "DirEntry",
+    "Directory",
+    "DirState",
+    "MessageKind",
+    "AccessResult",
+    "AccessKind",
+    "Dir1SWProtocol",
+]

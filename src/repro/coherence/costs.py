@@ -1,0 +1,66 @@
+"""Dir1SW latency / cost model.
+
+All cycle costs the simulator charges live here, in one parametrized
+dataclass, so that sensitivity studies (and the ablation benchmarks) can vary
+them.  Defaults follow the WWT configuration used by the CICO papers: a
+constant 100-cycle network message latency, single-cycle cache hits, and a
+software trap cost for the Dir1SW broadcast-invalidation slow path.
+
+The latencies are expressed as *critical-path formulas* over the hop count:
+
+* ``miss_from_memory`` — request to home directory, data response:
+  2 hops + memory access.
+* ``miss_with_recall`` — request, recall to the RW owner, owner's data back
+  to home/requester, response: 4 hops + memory access.
+* ``upgrade_fast`` — write fault when the requester is the only sharer
+  (Dir1SW's hardware pointer knows that): 2 hops.
+* ``invalidate_single`` — write needs to invalidate the one sharer named by
+  the hardware pointer: 4 hops (+ memory if data is needed).
+* ``sw_trap`` — more than one sharer must be invalidated: Dir1SW traps to
+  system software on the home node, which broadcasts invalidations and
+  collects acknowledgement counts.  Cost = trap entry/exit + 2 hops +
+  a per-sharer acknowledgement term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    hit_cycles: int = 1
+    compute_cycles: int = 1  # per arithmetic op between references
+    net_hop: int = 100  # one network message hop (WWT constant)
+    mem_cycles: int = 30  # DRAM access at the home node
+    sw_trap_cycles: int = 250  # Dir1SW software trap entry/exit
+    inv_ack_cycles: int = 40  # per-sharer invalidate+ack handling in the trap
+    directive_cycles: int = 5  # CICO directive issue overhead (addr generation)
+    barrier_cycles: int = 100  # barrier entry/exit cost per node
+    max_outstanding_prefetch: int = 8
+    #: Directory-module occupancy per serviced request, in cycles.  0 (the
+    #: default, and WWT's model) means a contention-free memory system;
+    #: positive values serialise requests at each block's home node, which
+    #: makes protocol *message counts* — exactly what check-ins reduce —
+    #: show up in latency, not just in the traffic statistics.
+    dir_occupancy_cycles: int = 0
+
+    # -- derived latencies -------------------------------------------------
+    def miss_from_memory(self) -> int:
+        return 2 * self.net_hop + self.mem_cycles
+
+    def miss_with_recall(self) -> int:
+        return 4 * self.net_hop + self.mem_cycles
+
+    def upgrade_fast(self) -> int:
+        return 2 * self.net_hop
+
+    def invalidate_single(self) -> int:
+        return 4 * self.net_hop + self.mem_cycles
+
+    def sw_trap(self, sharers_to_invalidate: int) -> int:
+        return (
+            self.sw_trap_cycles
+            + 2 * self.net_hop
+            + sharers_to_invalidate * self.inv_ack_cycles
+        )

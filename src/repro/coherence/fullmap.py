@@ -1,0 +1,71 @@
+"""A full-map directory protocol (DASH-style baseline).
+
+Dir1SW's defining economy is tracking *one* sharer in hardware and trapping
+to software to broadcast invalidations for more (Section 1 cites Stanford
+DASH and MIT Alewife as the full-hardware alternatives).  This class models
+that alternative: the directory knows every sharer, so invalidations are
+multicast in hardware — no trap, just a per-sharer message/ack cost.
+
+It exists for the ablation benchmarks: CICO check-ins buy *more* under
+Dir1SW (they keep the sharer counter at <= 1, dodging the software trap)
+but they still pay under a full-map directory by turning 4-hop recalls and
+invalidation rounds into plain 2-hop memory misses.  Comparing the two
+protocols separates "CICO fixes Dir1SW's weakness" from "CICO reduces
+communication per se" — both of which the paper's results bundle together.
+
+Everything except the invalidation slow paths is inherited from
+:class:`~repro.coherence.protocol.Dir1SWProtocol`; the directory's oracle
+sharer set *is* the hardware state here.
+"""
+
+from __future__ import annotations
+
+from repro.cache.state import LineState
+from repro.coherence.directory import DirState
+from repro.coherence.messages import MessageKind
+from repro.coherence.protocol import Dir1SWProtocol
+
+
+class FullMapProtocol(Dir1SWProtocol):
+    """Directory with a full per-block sharer bit-vector."""
+
+    def _invalidate_sharers_cost(self, count: int) -> int:
+        """Multicast invalidation to ``count`` sharers, hardware-handled:
+        2 hops for the request/response plus overlapped per-sharer acks."""
+        return 2 * self.cost.net_hop + count * self.cost.inv_ack_cycles
+
+    def _acquire_exclusive(self, node: int, block: int) -> tuple[int, str]:
+        entry = self.directory.entry(block)
+        if entry.state is not DirState.RO or entry.count <= 1:
+            # IDLE / RW / single-sharer paths are identical to Dir1SW.
+            return super()._acquire_exclusive(node, block)
+        count = entry.count
+        self.network.send(MessageKind.GET_X)
+        self.network.send(MessageKind.INV, count)
+        self.network.send(MessageKind.ACK, count)
+        for holder in self.directory.clear_all_holders(block):
+            self.caches[holder].invalidate(block)
+            self._pending[holder].pop(block, None)
+        self.directory.make_owner(block, node)
+        self.network.send(MessageKind.DATA)
+        self.proto_stats.hw_invalidations += count
+        return (
+            self._invalidate_sharers_cost(count) + self.cost.mem_cycles,
+            "inv_multicast",
+        )
+
+    def _upgrade(self, node: int, block: int) -> tuple[int, str]:
+        entry = self.directory.entry(block)
+        if entry.state is not DirState.RO or entry.count <= 1:
+            return super()._upgrade(node, block)
+        others = entry.count - 1
+        self.network.send(MessageKind.UPGRADE)
+        self.network.send(MessageKind.INV, others)
+        self.network.send(MessageKind.ACK, others)
+        for holder in self.directory.clear_all_holders(block):
+            if holder != node:
+                self.caches[holder].invalidate(block)
+                self._pending[holder].pop(block, None)
+        self.directory.make_owner(block, node)
+        self.proto_stats.hw_invalidations += others
+        return self._invalidate_sharers_cost(others), "inv_multicast"

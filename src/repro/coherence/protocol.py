@@ -1,0 +1,439 @@
+"""Dir1SW protocol engine: caches + directory + network + cost model.
+
+This is the layer the simulated machine talks to.  Every shared reference of
+every node funnels through :meth:`Dir1SWProtocol.read` /
+:meth:`Dir1SWProtocol.write`; CICO directives arrive via
+:meth:`check_out`, :meth:`check_in`, and :meth:`prefetch`.
+
+Design notes
+------------
+* **Implicit check-outs.**  As in Dir1SW, a read miss implicitly checks the
+  block out shared and a write miss checks it out exclusive; explicit
+  ``check_out`` directives therefore only pay off when they *change* the mode
+  (e.g. ``check_out_X`` before a read that precedes a write, killing the
+  later upgrade fault) — otherwise they just add issue overhead.  This is the
+  exact trade Section 4.1 describes.
+* **Check-in is fire-and-forget.**  It costs the issuer only the directive
+  overhead; its value is that the sharer counter drops, so a later writer
+  finds count==0/1 and avoids the Dir1SW software trap, and a dirty block is
+  already home so a later reader avoids the 4-hop recall.
+* **Prefetch.**  Performs the coherence transition at issue time and records
+  an arrival time ``now + latency``; a demand access before arrival stalls
+  for the remainder, one at or after arrival is a hit.  At most
+  ``cost.max_outstanding_prefetch`` prefetches may be in flight per node;
+  excess issues are dropped (counted, still paying issue overhead).
+* **Replacements notify the directory** (a ``DECREMENT`` or ``WRITEBACK``
+  message) so the sharer counter never drifts — Dir1SW requires this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.cache.state import CacheLine, LineState
+from repro.cache.stats import CacheStats
+from repro.coherence.costs import CostModel
+from repro.coherence.directory import Directory, DirState
+from repro.coherence.messages import MessageKind
+from repro.errors import ProtocolError
+from repro.network.model import Network
+
+
+class AccessKind(enum.Enum):
+    HIT = "hit"
+    READ_MISS = "read_miss"
+    WRITE_MISS = "write_miss"
+    WRITE_FAULT = "write_fault"
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    cycles: int
+    kind: AccessKind
+    detail: str = ""  # memory / recall / inv1 / trap / upgrade_fast / prefetched
+
+
+@dataclass(slots=True)
+class ProtocolStats:
+    """Machine-wide protocol event counts (beyond per-cache stats)."""
+
+    sw_traps: int = 0
+    recalls: int = 0
+    hw_invalidations: int = 0
+    bcast_invalidations: int = 0  # individual copies killed by traps
+    prefetch_dropped: int = 0
+
+
+@dataclass(slots=True)
+class _Pending:
+    arrival: int
+    exclusive: bool
+
+
+class Dir1SWProtocol:
+    def __init__(
+        self,
+        num_nodes: int,
+        cache_size: int,
+        block_size: int,
+        assoc: int,
+        cost: CostModel | None = None,
+        network: Network | None = None,
+    ):
+        if num_nodes <= 0:
+            raise ProtocolError(f"need at least one node, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.block_size = block_size
+        self.cost = cost or CostModel()
+        self.network = network or Network(hop_latency=(cost or CostModel()).net_hop)
+        self.caches = [
+            SetAssociativeCache(cache_size, block_size, assoc) for _ in range(num_nodes)
+        ]
+        self.stats = [CacheStats() for _ in range(num_nodes)]
+        self.proto_stats = ProtocolStats()
+        self.directory = Directory()
+        self._pending: list[dict[int, _Pending]] = [{} for _ in range(num_nodes)]
+        # Per-home-node directory occupancy (contention model; see
+        # CostModel.dir_occupancy_cycles).  Blocks are distributed round-
+        # robin across home nodes by block number.
+        self._home_free = [0] * num_nodes
+
+    def _contend(self, block: int, now: int) -> int:
+        """Queueing delay at the block's home directory, if modelled."""
+        service = self.cost.dir_occupancy_cycles
+        if not service:
+            return 0
+        home = block % self.num_nodes
+        start = max(now, self._home_free[home])
+        self._home_free[home] = start + service
+        return start - now
+
+    # ------------------------------------------------------------------ util
+    def totals(self) -> CacheStats:
+        out = CacheStats()
+        for stats in self.stats:
+            out.merge(stats)
+        return out
+
+    def _evict(self, node: int, victim: CacheLine) -> None:
+        """Directory bookkeeping for a replaced line (off the critical path)."""
+        self._pending[node].pop(victim.block, None)
+        if victim.dirty:
+            self.network.send(MessageKind.WRITEBACK)
+            self.stats[node].writebacks += 1
+        else:
+            self.network.send(MessageKind.DECREMENT)
+        self.directory.drop(victim.block, node)
+        self.stats[node].evictions += 1
+
+    def _insert(self, node: int, block: int, state: LineState, dirty: bool) -> None:
+        victim = self.caches[node].insert(block, state, dirty)
+        if victim is not None:
+            self._evict(node, victim)
+
+    # -------------------------------------------------------- acquisitions
+    def _acquire_shared(self, node: int, block: int) -> tuple[int, str]:
+        """Obtain a SHARED copy for a node that has no copy.  Returns
+        (latency, detail) and performs all state transitions."""
+        entry = self.directory.entry(block)
+        if entry.state is DirState.RW:
+            owner = entry.ptr
+            assert owner is not None
+            if owner == node:
+                raise ProtocolError(f"node {node} read-missed its own RW block {block}")
+            # Recall: owner downgrades to SHARED, dirty data goes home.
+            self.network.send(MessageKind.GET_S)
+            self.network.send(MessageKind.RECALL)
+            was_dirty = self.caches[owner].downgrade(block)
+            self.network.send(MessageKind.WRITEBACK if was_dirty else MessageKind.ACK)
+            if was_dirty:
+                self.stats[owner].writebacks += 1
+            self.network.send(MessageKind.DATA)
+            entry.state = DirState.RO  # owner stays as a sharer
+            entry.ptr = owner
+            self.directory.add_reader(block, node)
+            self.proto_stats.recalls += 1
+            return self.cost.miss_with_recall(), "recall"
+        # IDLE or RO: memory supplies the data.
+        self.network.send(MessageKind.GET_S)
+        self.network.send(MessageKind.DATA)
+        self.directory.add_reader(block, node)
+        return self.cost.miss_from_memory(), "memory"
+
+    def _acquire_exclusive(self, node: int, block: int) -> tuple[int, str]:
+        """Obtain an EXCLUSIVE copy for a node that has no copy."""
+        entry = self.directory.entry(block)
+        if entry.state is DirState.IDLE:
+            self.network.send(MessageKind.GET_X)
+            self.network.send(MessageKind.DATA)
+            self.directory.make_owner(block, node)
+            return self.cost.miss_from_memory(), "memory"
+        if entry.state is DirState.RW:
+            owner = entry.ptr
+            assert owner is not None
+            if owner == node:
+                raise ProtocolError(f"node {node} write-missed its own RW block {block}")
+            self.network.send(MessageKind.GET_X)
+            self.network.send(MessageKind.RECALL)
+            line = self.caches[owner].invalidate(block)
+            self._pending[owner].pop(block, None)
+            dirty = bool(line and line.dirty)
+            self.network.send(MessageKind.WRITEBACK if dirty else MessageKind.ACK)
+            if dirty:
+                self.stats[owner].writebacks += 1
+            self.network.send(MessageKind.DATA)
+            self.directory.drop(block, owner)
+            self.directory.make_owner(block, node)
+            self.proto_stats.recalls += 1
+            return self.cost.miss_with_recall(), "recall"
+        # RO: sharers must be invalidated first.
+        self.network.send(MessageKind.GET_X)
+        if entry.count == 1:
+            # Hardware pointer knows the single sharer (cannot be ``node``:
+            # a node with a copy takes the fault path, not the miss path).
+            sharer = entry.ptr
+            assert sharer is not None and sharer != node
+            self.network.send(MessageKind.INV)
+            self.network.send(MessageKind.ACK)
+            self.caches[sharer].invalidate(block)
+            self._pending[sharer].pop(block, None)
+            self.directory.drop(block, sharer)
+            self.directory.make_owner(block, node)
+            self.network.send(MessageKind.DATA)
+            self.proto_stats.hw_invalidations += 1
+            return self.cost.invalidate_single(), "inv1"
+        # count > 1: Dir1SW software trap, broadcast invalidation.
+        count = entry.count
+        self.network.send(MessageKind.BCAST_INV, count)
+        self.network.send(MessageKind.ACK, count)
+        for holder in self.directory.clear_all_holders(block):
+            self.caches[holder].invalidate(block)
+            self._pending[holder].pop(block, None)
+        self.directory.make_owner(block, node)
+        self.network.send(MessageKind.DATA)
+        self.proto_stats.sw_traps += 1
+        self.proto_stats.bcast_invalidations += count
+        return self.cost.sw_trap(count) + self.cost.mem_cycles, "trap"
+
+    def _upgrade(self, node: int, block: int) -> tuple[int, str]:
+        """Write fault: ``node`` holds SHARED, needs EXCLUSIVE."""
+        entry = self.directory.entry(block)
+        if entry.state is not DirState.RO or node not in entry.sharers:
+            raise ProtocolError(
+                f"write fault on block {block} but directory is {entry}"
+            )
+        self.network.send(MessageKind.UPGRADE)
+        if entry.count == 1:
+            # We are the lone (pointer-known) sharer: fast hardware upgrade.
+            self.network.send(MessageKind.ACK)
+            self.directory.drop(block, node)
+            self.directory.make_owner(block, node)
+            return self.cost.upgrade_fast(), "upgrade_fast"
+        others = entry.count - 1
+        self.network.send(MessageKind.BCAST_INV, others)
+        self.network.send(MessageKind.ACK, others)
+        for holder in self.directory.clear_all_holders(block):
+            if holder != node:
+                self.caches[holder].invalidate(block)
+                self._pending[holder].pop(block, None)
+        self.directory.make_owner(block, node)
+        self.proto_stats.sw_traps += 1
+        self.proto_stats.bcast_invalidations += others
+        return self.cost.sw_trap(others), "trap"
+
+    # ------------------------------------------------------------- accesses
+    def _pending_wait(self, node: int, block: int, now: int) -> int | None:
+        """If a prefetch is in flight for ``block``, cycles still to wait."""
+        pend = self._pending[node].get(block)
+        if pend is None:
+            return None
+        del self._pending[node][block]
+        self.stats[node].prefetch_useful += 1
+        return max(0, pend.arrival - now)
+
+    def read(self, node: int, block: int, now: int = 0) -> AccessResult:
+        stats = self.stats[node]
+        line = self.caches[node].touch(block)
+        if line is not None:
+            wait = self._pending_wait(node, block, now)
+            if wait is not None:
+                stats.stall_cycles += wait
+                return AccessResult(
+                    self.cost.hit_cycles + wait, AccessKind.HIT, "prefetched"
+                )
+            stats.hits += 1
+            return AccessResult(self.cost.hit_cycles, AccessKind.HIT)
+        self._pending[node].pop(block, None)  # stale pending (line was stolen)
+        cycles, detail = self._acquire_shared(node, block)
+        cycles += self._contend(block, now)
+        self._insert(node, block, LineState.SHARED, dirty=False)
+        stats.read_misses += 1
+        stats.stall_cycles += cycles
+        return AccessResult(cycles, AccessKind.READ_MISS, detail)
+
+    def write(self, node: int, block: int, now: int = 0) -> AccessResult:
+        stats = self.stats[node]
+        line = self.caches[node].touch(block)
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            wait = self._pending_wait(node, block, now)
+            line.dirty = True
+            if wait is not None:
+                stats.stall_cycles += wait
+                return AccessResult(
+                    self.cost.hit_cycles + wait, AccessKind.HIT, "prefetched"
+                )
+            stats.hits += 1
+            return AccessResult(self.cost.hit_cycles, AccessKind.HIT)
+        if line is not None:  # SHARED: write fault (upgrade)
+            wait = self._pending_wait(node, block, now) or 0
+            cycles, detail = self._upgrade(node, block)
+            cycles += self._contend(block, now)
+            line.state = LineState.EXCLUSIVE
+            line.dirty = True
+            stats.write_faults += 1
+            stats.stall_cycles += cycles + wait
+            return AccessResult(cycles + wait, AccessKind.WRITE_FAULT, detail)
+        self._pending[node].pop(block, None)
+        cycles, detail = self._acquire_exclusive(node, block)
+        cycles += self._contend(block, now)
+        self._insert(node, block, LineState.EXCLUSIVE, dirty=True)
+        stats.write_misses += 1
+        stats.stall_cycles += cycles
+        return AccessResult(cycles, AccessKind.WRITE_MISS, detail)
+
+    # ------------------------------------------------------------ directives
+    def check_out(self, node: int, block: int, exclusive: bool, now: int = 0) -> int:
+        """Explicit CICO check-out.  Blocking; returns total cycles."""
+        stats = self.stats[node]
+        stats.checkouts += 1
+        cycles = self.cost.directive_cycles
+        line = self.caches[node].touch(block)
+        if exclusive:
+            if line is not None and line.state is LineState.EXCLUSIVE:
+                return cycles  # already checked out: pure overhead
+            if line is not None:  # SHARED -> upgrade now, off the write path
+                up_cycles, _ = self._upgrade(node, block)
+                up_cycles += self._contend(block, now)
+                line.state = LineState.EXCLUSIVE
+                stats.write_faults += 1
+                stats.stall_cycles += up_cycles
+                return cycles + up_cycles
+            acq_cycles, _ = self._acquire_exclusive(node, block)
+            acq_cycles += self._contend(block, now)
+            self._insert(node, block, LineState.EXCLUSIVE, dirty=False)
+            stats.write_misses += 1
+            stats.stall_cycles += acq_cycles
+            return cycles + acq_cycles
+        if line is not None:
+            return cycles  # any copy satisfies check_out_S
+        acq_cycles, _ = self._acquire_shared(node, block)
+        acq_cycles += self._contend(block, now)
+        self._insert(node, block, LineState.SHARED, dirty=False)
+        stats.read_misses += 1
+        stats.stall_cycles += acq_cycles
+        return cycles + acq_cycles
+
+    def check_in(self, node: int, block: int) -> int:
+        """Explicit CICO check-in: flush our copy back to the directory."""
+        stats = self.stats[node]
+        stats.checkins += 1
+        line = self.caches[node].invalidate(block)
+        self._pending[node].pop(block, None)
+        if line is not None:
+            self.network.send(MessageKind.CHECKIN)
+            if line.dirty:
+                stats.writebacks += 1
+            self.directory.drop(block, node)
+        return self.cost.directive_cycles
+
+    def prefetch(self, node: int, block: int, exclusive: bool, now: int = 0) -> int:
+        """Non-binding prefetch; returns issue cycles only.
+
+        A prefetch is a *hint*: it never disturbs other caches.  The home
+        directory satisfies it only when that is free of side effects —
+        data from memory for an IDLE (or, for shared prefetches, RO) block,
+        or a silent upgrade when the requester is already the sole sharer.
+        Anything that would require a recall, an invalidation, or a
+        software trap NACKs the prefetch; the later demand access pays the
+        normal price.  (Letting prefetches steal exclusive copies would
+        turn them into free asynchronous invalidations.)"""
+        stats = self.stats[node]
+        stats.prefetches += 1
+        cycles = self.cost.directive_cycles
+        line = self.caches[node].lookup(block)
+        if line is not None and (not exclusive or line.state is LineState.EXCLUSIVE):
+            return cycles  # already adequate
+        if len(self._pending[node]) >= self.cost.max_outstanding_prefetch:
+            self.proto_stats.prefetch_dropped += 1
+            return cycles
+        entry = self.directory.entry(block)
+        self.network.send(MessageKind.PREFETCH)
+        if exclusive:
+            if line is not None:
+                # SHARED held: silent upgrade only if we are the lone sharer.
+                if entry.count != 1:
+                    self.proto_stats.prefetch_dropped += 1
+                    return cycles
+                latency, _ = self._upgrade(node, block)
+                line.state = LineState.EXCLUSIVE
+            else:
+                if entry.state is not DirState.IDLE:
+                    self.proto_stats.prefetch_dropped += 1
+                    return cycles
+                latency, _ = self._acquire_exclusive(node, block)
+                self._insert(node, block, LineState.EXCLUSIVE, dirty=False)
+        else:
+            if entry.state is DirState.RW:
+                self.proto_stats.prefetch_dropped += 1
+                return cycles
+            latency, _ = self._acquire_shared(node, block)
+            self._insert(node, block, LineState.SHARED, dirty=False)
+        self._pending[node][block] = _Pending(arrival=now + latency, exclusive=exclusive)
+        return cycles
+
+    # ------------------------------------------------------------- flushing
+    def flush_node(self, node: int) -> int:
+        """Invalidate every line (trace-mode barrier flush).  Returns the
+        number of lines flushed; costs nothing (instrumentation artefact)."""
+        lines = self.caches[node].flush_all()
+        for line in lines:
+            if line.dirty:
+                self.network.send(MessageKind.WRITEBACK)
+                self.stats[node].writebacks += 1
+            else:
+                self.network.send(MessageKind.DECREMENT)
+            self.directory.drop(line.block, node)
+        self._pending[node].clear()
+        return len(lines)
+
+    # ------------------------------------------------------------ checking
+    def invariant_check(self) -> None:
+        """Cross-check caches against the directory (used heavily by tests)."""
+        for block, entry in self.directory.entries().items():
+            entry.check()
+            for holder in entry.sharers:
+                line = self.caches[holder].lookup(block)
+                if line is None:
+                    raise ProtocolError(
+                        f"directory lists node {holder} for block {block} "
+                        f"but its cache has no line"
+                    )
+                want = (
+                    LineState.EXCLUSIVE
+                    if entry.state is DirState.RW
+                    else LineState.SHARED
+                )
+                if line.state is not want:
+                    raise ProtocolError(
+                        f"block {block}: node {holder} line is {line.state}, "
+                        f"directory says {entry.state}"
+                    )
+        for node, cache in enumerate(self.caches):
+            for line in cache.lines():
+                entry = self.directory.peek(line.block)
+                if entry is None or node not in entry.sharers:
+                    raise ProtocolError(
+                        f"node {node} caches block {line.block} unknown to directory"
+                    )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Cachier reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class AddressError(ReproError):
+    """An address is outside any allocated region, misaligned, or otherwise bad."""
+
+
+class LayoutError(ReproError):
+    """Region allocation failed (overlap, exhaustion, bad size)."""
+
+
+class LabelError(ReproError):
+    """A labelled-region lookup failed (unknown label, unmapped address)."""
+
+
+class CacheConfigError(ReproError):
+    """Cache geometry is invalid (non power of two, zero ways, ...)."""
+
+
+class ProtocolError(ReproError):
+    """The Dir1SW protocol reached an inconsistent state.
+
+    This always indicates a bug in the simulator, never a property of the
+    simulated program, so it is deliberately loud.
+    """
+
+
+class MachineError(ReproError):
+    """Machine-level misuse: wrong node id, kernel protocol violation, ..."""
+
+
+class BarrierError(MachineError):
+    """Barrier misuse: mismatched arrival counts or barrier while halted."""
+
+
+class LangError(ReproError):
+    """Errors constructing or analysing IR programs."""
+
+
+class InterpError(LangError):
+    """Runtime error while interpreting an IR program."""
+
+
+class UnparseError(LangError):
+    """The unparser met an AST node it cannot print."""
+
+
+class TraceError(ReproError):
+    """Trace file is malformed or records are inconsistent."""
+
+
+class CachierError(ReproError):
+    """The annotator could not complete (missing labels, unknown PCs, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""

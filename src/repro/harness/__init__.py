@@ -1,0 +1,5 @@
+"""Experiment harness: tracing, annotation, timing runs, paper tables."""
+
+from repro.harness.runner import run_program, trace_program, annotate_workload
+
+__all__ = ["run_program", "trace_program", "annotate_workload"]

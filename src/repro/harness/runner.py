@@ -1,0 +1,72 @@
+"""Run programs on the simulated machine: trace mode and timing mode.
+
+This reproduces the paper's experimental flow (Figure 1):
+
+1. ``trace_program`` — execute the *unannotated* program with per-barrier
+   cache flushing and a :class:`TraceCollector` attached (what WWT did), and
+   return the trace.
+2. ``Cachier(...).annotate(...)`` — produce the annotated program.
+3. ``run_program`` — execute any program variant in timing mode (no
+   flushing) and report cycles, miss counts and traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cachier.annotator import Cachier, CachierResult, Policy
+from repro.lang.ast import Program
+from repro.lang.interp import Interpreter, SharedStore
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine, RunResult
+from repro.trace.collector import TraceCollector
+from repro.trace.records import Trace
+
+ParamsFn = Callable[[int], dict]
+
+
+def trace_program(
+    program: Program, config: MachineConfig, params_fn: ParamsFn | None = None
+) -> Trace:
+    """Collect the per-epoch miss trace of an unannotated program."""
+    store = SharedStore(program, block_size=config.block_size)
+    collector = TraceCollector(
+        labels=store.labels,
+        block_size=config.block_size,
+        num_nodes=config.num_nodes,
+    )
+    interp = Interpreter(program, store, params_fn=params_fn)
+    Machine(config, listener=collector, flush_at_barrier=True).run(interp.kernel)
+    return collector.finish()
+
+
+def run_program(
+    program: Program, config: MachineConfig, params_fn: ParamsFn | None = None
+) -> tuple[RunResult, SharedStore]:
+    """Timing run (no trace-mode flushing)."""
+    store = SharedStore(program, block_size=config.block_size)
+    interp = Interpreter(program, store, params_fn=params_fn)
+    result = Machine(config, flush_at_barrier=False).run(interp.kernel)
+    return result, store
+
+
+def annotate_workload(
+    program: Program,
+    config: MachineConfig,
+    params_fn: ParamsFn | None = None,
+    policy: Policy = Policy.PERFORMANCE,
+    prefetch: bool = False,
+    trace: Trace | None = None,
+    capacity_fraction: float = 0.8,
+) -> CachierResult:
+    """Convenience wrapper: trace (unless given) then annotate."""
+    if trace is None:
+        trace = trace_program(program, config, params_fn)
+    cachier = Cachier(
+        program,
+        trace,
+        params_fn=params_fn,
+        cache_size=config.cache_size,
+        capacity_fraction=capacity_fraction,
+    )
+    return cachier.annotate(policy, prefetch=prefetch)

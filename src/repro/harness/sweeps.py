@@ -1,0 +1,70 @@
+"""Parameter-sweep experiments: sensitivity of the CICO gains.
+
+The paper evaluates one machine point (32 nodes, 256 KB caches).  These
+sweeps answer the obvious next questions a systems reader asks:
+
+* :func:`sweep_nodes` — does Cachier's relative gain grow with the
+  processor count?  (It should: boundary blocks and sharer counts scale
+  with P, so there are more recalls and bigger Dir1SW traps to remove.)
+* :func:`sweep_cache_size` — how does cache capacity change the picture?
+  (Tiny caches drown coherence in capacity misses; big caches retain stale
+  exclusive copies, so check-ins matter more.)
+* :func:`sweep_block_size` — larger blocks mean more false sharing and
+  coarser check-out granularity.
+
+Each returns rows ``[value, plain_cycles, cachier_cycles, normalized]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.harness.runner import run_program, trace_program
+from repro.workloads.base import WorkloadSpec, get_workload
+
+
+def _measure(spec: WorkloadSpec) -> tuple[int, int]:
+    trace = trace_program(spec.program, spec.config, spec.params_fn)
+    cachier = Cachier(
+        spec.program, trace, params_fn=spec.params_fn,
+        cache_size=spec.cachier_cache_size,
+    )
+    annotated = cachier.annotate(Policy.PERFORMANCE).program
+    plain, _ = run_program(spec.program, spec.config, spec.params_fn)
+    annot, _ = run_program(annotated, spec.config, spec.params_fn)
+    return plain.cycles, annot.cycles
+
+
+def _sweep(make_spec: Callable[[object], WorkloadSpec], values) -> list:
+    rows = []
+    for value in values:
+        spec = make_spec(value)
+        plain, annot = _measure(spec)
+        rows.append([value, plain, annot, annot / plain])
+    return rows
+
+
+def sweep_nodes(workload: str = "ocean", nodes=(4, 8, 16), **kwargs) -> list:
+    return _sweep(
+        lambda n: get_workload(workload, num_nodes=n, **kwargs), nodes
+    )
+
+
+def sweep_cache_size(
+    workload: str = "matmul", sizes=(4096, 8192, 32768), **kwargs
+) -> list:
+    return _sweep(
+        lambda s: get_workload(workload, cache_size=s, **kwargs), sizes
+    )
+
+
+def sweep_block_size(
+    workload: str = "ocean", blocks=(16, 32, 64), **kwargs
+) -> list:
+    def make(block: int) -> WorkloadSpec:
+        spec = get_workload(workload, **kwargs)
+        spec.config = spec.config.scaled(block_size=block)
+        return spec
+
+    return _sweep(make, blocks)

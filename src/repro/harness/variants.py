@@ -1,0 +1,71 @@
+"""Build every measured variant of a workload.
+
+Figure 6 compares, per benchmark: the unannotated program, the
+hand-annotated program, and the Cachier-annotated program (for Matrix
+Multiply and Ocean also with prefetch).  This module packages that: trace
+once, annotate, return all runnable programs keyed by variant name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachier.annotator import Cachier, CachierResult, Policy
+from repro.harness.runner import run_program, trace_program
+from repro.lang.ast import Program
+from repro.machine.machine import RunResult
+from repro.trace.records import Trace
+from repro.workloads.base import WorkloadSpec
+
+PLAIN = "plain"
+HAND = "hand"
+HAND_PREFETCH = "hand+pf"
+CACHIER = "cachier"
+CACHIER_PREFETCH = "cachier+pf"
+
+
+@dataclass
+class VariantSet:
+    spec: WorkloadSpec
+    trace: Trace
+    cachier: Cachier
+    programs: dict[str, Program] = field(default_factory=dict)
+    results: dict[str, CachierResult] = field(default_factory=dict)
+
+    def run(self, variant: str) -> RunResult:
+        result, _ = run_program(
+            self.programs[variant], self.spec.config, self.spec.params_fn
+        )
+        return result
+
+    def run_all(self) -> dict[str, RunResult]:
+        return {variant: self.run(variant) for variant in self.programs}
+
+
+def build_variants(
+    spec: WorkloadSpec,
+    policy: Policy = Policy.PERFORMANCE,
+    include_prefetch: bool = True,
+    history: int = 1,
+) -> VariantSet:
+    trace = trace_program(spec.program, spec.config, spec.params_fn)
+    cachier = Cachier(
+        spec.program,
+        trace,
+        params_fn=spec.params_fn,
+        cache_size=spec.cachier_cache_size,
+    )
+    vs = VariantSet(spec=spec, trace=trace, cachier=cachier)
+    vs.programs[PLAIN] = spec.program
+    if spec.hand_program is not None:
+        vs.programs[HAND] = spec.hand_program
+    if spec.hand_prefetch_program is not None and include_prefetch:
+        vs.programs[HAND_PREFETCH] = spec.hand_prefetch_program
+    auto = cachier.annotate(policy, history=history)
+    vs.results[CACHIER] = auto
+    vs.programs[CACHIER] = auto.program
+    if include_prefetch:
+        auto_pf = cachier.annotate(policy, prefetch=True, history=history)
+        vs.results[CACHIER_PREFETCH] = auto_pf
+        vs.programs[CACHIER_PREFETCH] = auto_pf.program
+    return vs

@@ -1,0 +1,72 @@
+"""A small structured SPMD program IR.
+
+This is the "target program" substrate: Cachier needs an abstract syntax
+tree, loop structure, and a control-flow graph of the program it annotates
+(paper Sections 3.4 and 4.2-4.3).  Workloads are written in this IR via
+:mod:`repro.lang.builder`; the interpreter executes them on the simulated
+machine; the unparser prints them (annotated) in the paper's pseudocode
+style.
+"""
+
+from repro.lang.ast import (
+    AnnotKind,
+    Annot,
+    AnnotTarget,
+    ArrayDecl,
+    Assign,
+    Barrier,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    For,
+    Function,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    Program,
+    RangeSpec,
+    Store,
+    Un,
+    UnlockStmt,
+    While,
+    number_program,
+)
+from repro.lang.builder import ProgramBuilder
+from repro.lang.interp import Interpreter, SharedStore
+from repro.lang.parse import parse_program
+from repro.lang.unparse import unparse_program
+
+__all__ = [
+    "AnnotKind",
+    "Annot",
+    "AnnotTarget",
+    "ArrayDecl",
+    "Assign",
+    "Barrier",
+    "Bin",
+    "CallStmt",
+    "Comment",
+    "Const",
+    "For",
+    "Function",
+    "If",
+    "Load",
+    "Local",
+    "LockStmt",
+    "Param",
+    "Program",
+    "RangeSpec",
+    "Store",
+    "Un",
+    "UnlockStmt",
+    "While",
+    "number_program",
+    "ProgramBuilder",
+    "Interpreter",
+    "SharedStore",
+    "unparse_program",
+    "parse_program",
+]

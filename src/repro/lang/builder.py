@@ -1,0 +1,420 @@
+"""Fluent construction of IR programs.
+
+Workloads read naturally with this builder::
+
+    b = ProgramBuilder("matmul")
+    N, me = b.param("N"), b.param("me")
+    A = b.shared("A", (8, 8))
+    C = b.shared("C", (8, 8))
+    with b.function("main"):
+        with b.for_("i", 1, N) as i:
+            with b.for_("k", b.param("Lkp"), b.param("Ukp")) as k:
+                b.let("t", A[i, k])
+                ...
+    program = b.build()
+
+Arithmetic on proxies produces IR expressions; ``A[i, j]`` produces an
+element reference usable both as an expression and as a `b.set` target.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    AnnotTarget,
+    ArrayDecl,
+    Assign,
+    Barrier,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    Program,
+    RangeSpec,
+    Store,
+    Un,
+    UnlockStmt,
+    While,
+    number_program,
+)
+
+
+def as_expr(value) -> Expr:
+    """Coerce builder-level values into IR expressions."""
+    if isinstance(value, ExprProxy):
+        return value.node
+    if isinstance(value, ElemRef):
+        return Load(value.array, value.indices)
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise LangError(f"cannot use {value!r} as an expression")
+
+
+class ExprProxy:
+    """Arithmetic-operator sugar around an IR expression."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        self.node = node
+
+    def _bin(self, op: str, other, swap: bool = False) -> "ExprProxy":
+        left, right = as_expr(self), as_expr(other)
+        if swap:
+            left, right = right, left
+        return ExprProxy(Bin(op, left, right))
+
+    def __add__(self, o):
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __rtruediv__(self, o):
+        return self._bin("/", o, swap=True)
+
+    def __floordiv__(self, o):
+        return self._bin("//", o)
+
+    def __rfloordiv__(self, o):
+        return self._bin("//", o, swap=True)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __rmod__(self, o):
+        return self._bin("%", o, swap=True)
+
+    def __neg__(self):
+        return ExprProxy(Un("neg", as_expr(self)))
+
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    def eq(self, o) -> "ExprProxy":
+        return self._bin("==", o)
+
+    def ne(self, o) -> "ExprProxy":
+        return self._bin("!=", o)
+
+    def logical_and(self, o) -> "ExprProxy":
+        return self._bin("and", o)
+
+    def logical_or(self, o) -> "ExprProxy":
+        return self._bin("or", o)
+
+
+# ``as_expr`` needs to accept ExprProxy instances created before class body
+# finished; nothing further required.
+
+
+class ElemRef:
+    """``A[i, j]`` — usable as an expression (load) or a ``b.set`` target."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array: str, indices: tuple[Expr, ...]):
+        self.array = array
+        self.indices = indices
+
+    # Expression sugar: delegate arithmetic through a Load proxy.
+    def _proxy(self) -> ExprProxy:
+        return ExprProxy(Load(self.array, self.indices))
+
+    def __add__(self, o):
+        return self._proxy() + o
+
+    def __radd__(self, o):
+        return o + self._proxy()
+
+    def __sub__(self, o):
+        return self._proxy() - o
+
+    def __rsub__(self, o):
+        return o - self._proxy()
+
+    def __mul__(self, o):
+        return self._proxy() * o
+
+    def __rmul__(self, o):
+        return o * self._proxy()
+
+    def __truediv__(self, o):
+        return self._proxy() / o
+
+    def __rtruediv__(self, o):
+        return o / self._proxy()
+
+    def __neg__(self):
+        return -self._proxy()
+
+    def __lt__(self, o):
+        return self._proxy() < o
+
+    def __le__(self, o):
+        return self._proxy() <= o
+
+    def __gt__(self, o):
+        return self._proxy() > o
+
+    def __ge__(self, o):
+        return self._proxy() >= o
+
+
+class ArrayHandle:
+    """Builder-side handle for a declared array."""
+
+    __slots__ = ("name", "decl")
+
+    def __init__(self, name: str, decl: ArrayDecl):
+        self.name = name
+        self.decl = decl
+
+    def __getitem__(self, idx) -> ElemRef:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        if len(idx) != len(self.decl.shape):
+            raise LangError(
+                f"{self.name}: expected {len(self.decl.shape)} indices, got {len(idx)}"
+            )
+        return ElemRef(self.name, tuple(as_expr(i) for i in idx))
+
+
+class ProgramBuilder:
+    def __init__(self, name: str):
+        self.name = name
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._functions: dict[str, Function] = {}
+        self._stack: list[list] = []  # open statement blocks
+
+    # ------------------------------------------------------------ declarations
+    def shared(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        elem_size: int = 8,
+        order: str = "C",
+    ) -> ArrayHandle:
+        return self._declare(ArrayDecl(name, tuple(shape), elem_size, order, False))
+
+    def private(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        elem_size: int = 8,
+        order: str = "C",
+    ) -> ArrayHandle:
+        return self._declare(ArrayDecl(name, tuple(shape), elem_size, order, True))
+
+    def _declare(self, decl: ArrayDecl) -> ArrayHandle:
+        if decl.name in self._arrays:
+            raise LangError(f"array {decl.name!r} already declared")
+        self._arrays[decl.name] = decl
+        return ArrayHandle(decl.name, decl)
+
+    def param(self, name: str) -> ExprProxy:
+        return ExprProxy(Param(name))
+
+    def var(self, name: str) -> ExprProxy:
+        return ExprProxy(Local(name))
+
+    # ------------------------------------------------------------- intrinsics
+    def sqrt(self, e) -> ExprProxy:
+        return ExprProxy(Un("sqrt", as_expr(e)))
+
+    def abs(self, e) -> ExprProxy:
+        return ExprProxy(Un("abs", as_expr(e)))
+
+    def floor(self, e) -> ExprProxy:
+        return ExprProxy(Un("floor", as_expr(e)))
+
+    def min(self, a, b) -> ExprProxy:
+        return ExprProxy(Bin("min", as_expr(a), as_expr(b)))
+
+    def max(self, a, b) -> ExprProxy:
+        return ExprProxy(Bin("max", as_expr(a), as_expr(b)))
+
+    # ---------------------------------------------------------------- blocks
+    def _emit(self, stmt) -> None:
+        if not self._stack:
+            raise LangError("statement emitted outside any function")
+        self._stack[-1].append(stmt)
+
+    @contextmanager
+    def function(self, name: str, params: Iterable[str] = ()):
+        if name in self._functions:
+            raise LangError(f"function {name!r} already defined")
+        body: list = []
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        self._functions[name] = Function(name=name, params=tuple(params), body=body)
+
+    @contextmanager
+    def for_(self, var: str, lo, hi, step=1):
+        body: list = []
+        stmt = For(var=var, lo=as_expr(lo), hi=as_expr(hi), body=body, step=as_expr(step))
+        self._emit(stmt)
+        self._stack.append(body)
+        try:
+            yield ExprProxy(Local(var))
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def while_(self, cond):
+        body: list = []
+        self._emit(While(cond=as_expr(cond), body=body))
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def if_(self, cond):
+        stmt = If(cond=as_expr(cond), then=[], els=[])
+        self._emit(stmt)
+        self._stack.append(stmt.then)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        self._last_if = stmt
+
+    @contextmanager
+    def else_(self):
+        stmt = getattr(self, "_last_if", None)
+        if stmt is None or not isinstance(stmt, If):
+            raise LangError("else_ without a preceding if_")
+        self._stack.append(stmt.els)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        self._last_if = None
+
+    # ------------------------------------------------------------ statements
+    def let(self, name: str, expr) -> None:
+        """Assign a local scalar."""
+        self._emit(Assign(name=name, expr=as_expr(expr)))
+
+    def set(self, target: ElemRef, expr) -> None:
+        """Store into an array element."""
+        if not isinstance(target, ElemRef):
+            raise LangError(f"set target must be an array element, got {target!r}")
+        self._emit(Store(array=target.array, indices=target.indices, expr=as_expr(expr)))
+
+    def barrier(self, label: str = "") -> None:
+        self._emit(Barrier(label=label))
+
+    def lock(self, target: ElemRef) -> None:
+        self._emit(LockStmt(array=target.array, indices=target.indices))
+
+    def unlock(self, target: ElemRef) -> None:
+        self._emit(UnlockStmt(array=target.array, indices=target.indices))
+
+    def call(self, func: str, *args) -> None:
+        self._emit(CallStmt(func=func, args=tuple(as_expr(a) for a in args)))
+
+    def comment(self, text: str) -> None:
+        self._emit(Comment(text=text))
+
+    # ------------------------------------------------------------ annotations
+    def range(self, lo, hi, step=1) -> RangeSpec:
+        """Inclusive index range for annotation targets."""
+        return RangeSpec(lo=as_expr(lo), hi=as_expr(hi), step=as_expr(step))
+
+    def target(self, array: ArrayHandle | str, *specs) -> AnnotTarget:
+        name = array.name if isinstance(array, ArrayHandle) else str(array)
+        if name not in self._arrays:
+            raise LangError(f"annotation target on undeclared array {name!r}")
+        out = tuple(
+            spec if isinstance(spec, RangeSpec) else as_expr(spec) for spec in specs
+        )
+        if len(out) != len(self._arrays[name].shape):
+            raise LangError(f"annotation target {name!r}: wrong index arity")
+        return AnnotTarget(array=name, specs=out)
+
+    def annot(self, kind: AnnotKind, *targets) -> None:
+        resolved = tuple(
+            t if isinstance(t, AnnotTarget) else self._elem_target(t) for t in targets
+        )
+        self._emit(Annot(kind=kind, targets=resolved))
+
+    def _elem_target(self, ref: ElemRef) -> AnnotTarget:
+        if not isinstance(ref, ElemRef):
+            raise LangError(f"annotation target must be element or target, got {ref!r}")
+        return AnnotTarget(array=ref.array, specs=tuple(ref.indices))
+
+    def check_out_s(self, *targets) -> None:
+        self.annot(AnnotKind.CHECK_OUT_S, *targets)
+
+    def check_out_x(self, *targets) -> None:
+        self.annot(AnnotKind.CHECK_OUT_X, *targets)
+
+    def check_in(self, *targets) -> None:
+        self.annot(AnnotKind.CHECK_IN, *targets)
+
+    def prefetch_s(self, *targets) -> None:
+        self.annot(AnnotKind.PREFETCH_S, *targets)
+
+    def prefetch_x(self, *targets) -> None:
+        self.annot(AnnotKind.PREFETCH_X, *targets)
+
+    # ----------------------------------------------------------------- build
+    def build(self, entry: str = "main") -> Program:
+        if self._stack:
+            raise LangError("build() inside an open block")
+        if entry not in self._functions:
+            raise LangError(f"program has no entry function {entry!r}")
+        program = Program(
+            name=self.name,
+            arrays=dict(self._arrays),
+            functions=dict(self._functions),
+            entry=entry,
+        )
+        return number_program(program)

@@ -1,0 +1,164 @@
+"""Control-flow graph over IR statements.
+
+Cachier parses the target program and builds "its abstract syntax tree and
+control flow graph" (Section 3.4).  The CFG's job in the annotator is epoch
+*region* discovery: which statements execute between one barrier and the
+next.  Static epochs are keyed by ``(opening barrier pc, closing barrier
+pc)`` — the same key the trace derives from its barrier records — with ``-1``
+standing for program entry/exit.
+
+Nodes are statement pcs plus two virtual nodes ``ENTRY`` (-1) and ``EXIT``
+(-2).  ``CallStmt`` edges descend into the callee's body and return, so an
+epoch that spans multiple functions is handled (the paper places annotations
+at the starts/ends of the functions a spanning epoch calls into).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Barrier,
+    CallStmt,
+    For,
+    Function,
+    If,
+    Program,
+    Stmt,
+    While,
+)
+
+ENTRY = -1
+EXIT = -2
+
+
+@dataclass
+class Cfg:
+    program: Program
+    succ: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    pred: dict[int, set[int]] = field(default_factory=lambda: defaultdict(set))
+    barrier_pcs: set[int] = field(default_factory=set)
+    stmt_by_pc: dict[int, Stmt] = field(default_factory=dict)
+
+    def add_edge(self, a: int, b: int) -> None:
+        self.succ[a].add(b)
+        self.pred[b].add(a)
+
+    # ------------------------------------------------------------- regions
+    def epoch_regions(self) -> dict[tuple[int, int], set[int]]:
+        """Map (opening, closing) barrier-pc pairs to the set of statement
+        pcs that can execute between those two barriers.
+
+        A region may appear under several keys when control flow permits
+        multiple closings (e.g. a barrier inside a loop: the region between
+        iterations closes at the same barrier; the final iteration closes at
+        the next one).
+        """
+        sources = [ENTRY] + sorted(self.barrier_pcs)
+        regions: dict[tuple[int, int], set[int]] = {}
+        for source in sources:
+            reached: set[int] = set()
+            closers: set[int] = set()
+            frontier = list(self.succ.get(source, ()))
+            seen = set(frontier)
+            while frontier:
+                pc = frontier.pop()
+                if pc == EXIT:
+                    closers.add(EXIT)
+                    continue
+                if pc in self.barrier_pcs:
+                    closers.add(pc)
+                    continue
+                reached.add(pc)
+                for nxt in self.succ.get(pc, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            for closer in closers:
+                key = (
+                    source if source != ENTRY else -1,
+                    closer if closer != EXIT else -1,
+                )
+                regions.setdefault(key, set()).update(reached)
+        return regions
+
+
+def build_cfg(program: Program) -> Cfg:
+    """CFG of the whole program starting at its entry function."""
+    cfg = Cfg(program=program)
+    entry = program.function(program.entry)
+    _register_stmts(cfg, program)
+    heads, tails = _wire_block(cfg, program, entry.body, visited=(program.entry,))
+    for head in heads:
+        cfg.add_edge(ENTRY, head)
+    for tail in tails:
+        cfg.add_edge(tail, EXIT)
+    if not entry.body:
+        cfg.add_edge(ENTRY, EXIT)
+    return cfg
+
+
+def _register_stmts(cfg: Cfg, program: Program) -> None:
+    from repro.lang.ast import walk_stmts
+
+    for func in program.functions.values():
+        for stmt in walk_stmts(func.body):
+            if stmt.pc < 0:
+                raise LangError("build_cfg requires a numbered program")
+            cfg.stmt_by_pc[stmt.pc] = stmt
+            if isinstance(stmt, Barrier):
+                cfg.barrier_pcs.add(stmt.pc)
+
+
+def _wire_block(
+    cfg: Cfg, program: Program, body: list[Stmt], visited: tuple[str, ...]
+) -> tuple[list[int], list[int]]:
+    """Wire a statement list; return (entry pcs, exit pcs) of the block."""
+    heads: list[int] = []
+    tails: list[int] = []
+    for stmt in body:
+        s_heads, s_tails = _wire_stmt(cfg, program, stmt, visited)
+        if not heads:
+            heads = s_heads
+        for tail in tails:
+            for head in s_heads:
+                cfg.add_edge(tail, head)
+        tails = s_tails
+    return heads, tails
+
+
+def _wire_stmt(
+    cfg: Cfg, program: Program, stmt: Stmt, visited: tuple[str, ...]
+) -> tuple[list[int], list[int]]:
+    pc = stmt.pc
+    if isinstance(stmt, (For, While)):
+        b_heads, b_tails = _wire_block(cfg, program, stmt.body, visited)
+        for head in b_heads:
+            cfg.add_edge(pc, head)
+        for tail in b_tails:
+            cfg.add_edge(tail, pc)  # back edge
+        if not stmt.body:
+            cfg.add_edge(pc, pc)
+        return [pc], [pc]  # loop exit happens at the header
+    if isinstance(stmt, If):
+        t_heads, t_tails = _wire_block(cfg, program, stmt.then, visited)
+        e_heads, e_tails = _wire_block(cfg, program, stmt.els, visited)
+        for head in t_heads + e_heads:
+            cfg.add_edge(pc, head)
+        exits = (t_tails or [pc]) + (e_tails or [pc])
+        if not stmt.els:
+            exits = (t_tails or []) + [pc]
+        return [pc], exits
+    if isinstance(stmt, CallStmt):
+        if stmt.func in visited:  # recursion: approximate as opaque
+            return [pc], [pc]
+        callee = program.function(stmt.func)
+        c_heads, c_tails = _wire_block(
+            cfg, program, callee.body, visited + (stmt.func,)
+        )
+        for head in c_heads:
+            cfg.add_edge(pc, head)
+        return [pc], (c_tails or [pc])
+    return [pc], [pc]

@@ -1,0 +1,471 @@
+"""Generator-based IR interpreter.
+
+``Interpreter.kernel(node)`` returns a generator of machine events (see
+:mod:`repro.machine.events`).  The machine interleaves these per-node
+generators by virtual time, so functional execution and timing happen in one
+pass: a data race in the program resolves in virtual-time order, exactly the
+kind of timing-dependent behaviour the paper's Section 4.5 talks about.
+
+Performance notes (this is the simulator's hot path):
+
+* expressions whose subtree contains no *shared* load are evaluated by a
+  plain recursive function — the generator machinery is only paid for
+  references that can reach the memory system;
+* purity is memoised per AST node (``id``-keyed; IR expression nodes are
+  frozen and owned by the program, so ids are stable);
+* compute cycles are accumulated in a per-node counter and attached to the
+  next yielded event, so the machine charges realistic instruction counts
+  without per-operation yields.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InterpError
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    AnnotTarget,
+    Assign,
+    Barrier,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    Program,
+    RangeSpec,
+    Store,
+    Un,
+    UnlockStmt,
+    While,
+)
+from repro.machine.events import (
+    DIR_CHECK_IN,
+    DIR_CHECK_OUT_S,
+    DIR_CHECK_OUT_X,
+    DIR_PREFETCH_S,
+    DIR_PREFETCH_X,
+    EV_BARRIER,
+    EV_DIRECTIVE,
+    EV_LOCK,
+    EV_REF,
+    EV_UNLOCK,
+)
+from repro.mem.labels import ArrayLabel, LabelTable
+from repro.mem.layout import AddressSpace
+
+_ANNOT_TO_DIR = {
+    AnnotKind.CHECK_OUT_S: DIR_CHECK_OUT_S,
+    AnnotKind.CHECK_OUT_X: DIR_CHECK_OUT_X,
+    AnnotKind.CHECK_IN: DIR_CHECK_IN,
+    AnnotKind.PREFETCH_S: DIR_PREFETCH_S,
+    AnnotKind.PREFETCH_X: DIR_PREFETCH_X,
+}
+
+_BIN_FUNCS: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "and": lambda a, b: 1 if (a and b) else 0,
+    "or": lambda a, b: 1 if (a or b) else 0,
+    "min": min,
+    "max": max,
+}
+
+_UN_FUNCS: dict[str, Callable[[float], float]] = {
+    "neg": lambda a: -a,
+    "not": lambda a: 0 if a else 1,
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "exp": math.exp,
+    "sin": math.sin,
+    "cos": math.cos,
+}
+
+
+class SharedStore:
+    """Shared address space + labels + functional value arrays for a program."""
+
+    def __init__(self, program: Program, block_size: int = 32):
+        self.program = program
+        self.space = AddressSpace(block_size=block_size)
+        self.labels = LabelTable()
+        self.values: dict[str, np.ndarray] = {}
+        for decl in program.shared_arrays():
+            nbytes = decl.elem_size
+            for extent in decl.shape:
+                nbytes *= extent
+            region = self.space.allocate(decl.name, nbytes)
+            self.labels.add(
+                ArrayLabel(
+                    region=region,
+                    shape=decl.shape,
+                    elem_size=decl.elem_size,
+                    order=decl.order,
+                )
+            )
+            self.values[decl.name] = np.zeros(
+                int(np.prod(decl.shape)), dtype=np.float64
+            )
+
+    def label(self, name: str) -> ArrayLabel:
+        return self.labels.get(name)
+
+    def array(self, name: str) -> np.ndarray:
+        """Flat value array (reshape via the label's shape/order if needed)."""
+        return self.values[name]
+
+    def as_ndarray(self, name: str) -> np.ndarray:
+        lab = self.labels.get(name)
+        flat = self.values[name]
+        if lab.order == "C":
+            return flat.reshape(lab.shape)
+        return flat.reshape(tuple(reversed(lab.shape))).transpose()
+
+
+@dataclass(slots=True)
+class _Ctx:
+    """Per-kernel mutable state."""
+
+    node: int
+    params: dict[str, float]
+    frames: list[dict[str, float]] = field(default_factory=lambda: [{}])
+    compute: int = 0
+    priv: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def frame(self) -> dict[str, float]:
+        return self.frames[-1]
+
+    def take(self) -> int:
+        out = self.compute
+        self.compute = 0
+        return out
+
+
+class Interpreter:
+    def __init__(
+        self,
+        program: Program,
+        store: SharedStore | None = None,
+        params_fn: Callable[[int], dict] | None = None,
+        block_size: int = 32,
+    ):
+        self.program = program
+        self.store = store or SharedStore(program, block_size=block_size)
+        self.params_fn = params_fn or (lambda node: {})
+        self._pure_memo: dict[int, bool] = {}
+
+    # ------------------------------------------------------------- purity
+    def _is_pure(self, expr: Expr) -> bool:
+        """True if evaluating ``expr`` can never touch shared memory."""
+        memo = self._pure_memo
+        key = id(expr)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        t = type(expr)
+        if t in (Const, Local, Param):
+            result = True
+        elif t is Bin:
+            result = self._is_pure(expr.left) and self._is_pure(expr.right)
+        elif t is Un:
+            result = self._is_pure(expr.operand)
+        elif t is Load:
+            result = self.program.array(expr.array).private and all(
+                self._is_pure(i) for i in expr.indices
+            )
+        else:
+            raise InterpError(f"unknown expression node {expr!r}")
+        memo[key] = result
+        return result
+
+    # ---------------------------------------------------------- fast eval
+    def _eval_fast(self, ctx: _Ctx, expr: Expr) -> float:
+        t = type(expr)
+        if t is Const:
+            return expr.value
+        if t is Local:
+            try:
+                return ctx.frame[expr.name]
+            except KeyError:
+                raise InterpError(
+                    f"node {ctx.node}: unbound local {expr.name!r}"
+                ) from None
+        if t is Param:
+            try:
+                return ctx.params[expr.name]
+            except KeyError:
+                raise InterpError(
+                    f"node {ctx.node}: unbound parameter {expr.name!r}"
+                ) from None
+        if t is Bin:
+            left = self._eval_fast(ctx, expr.left)
+            right = self._eval_fast(ctx, expr.right)
+            ctx.compute += 1
+            try:
+                return _BIN_FUNCS[expr.op](left, right)
+            except ZeroDivisionError:
+                raise InterpError(f"division by zero in {expr.op!r}") from None
+        if t is Un:
+            val = self._eval_fast(ctx, expr.operand)
+            ctx.compute += 1
+            return _UN_FUNCS[expr.op](val)
+        if t is Load:  # private load (purity guaranteed by caller)
+            idxs = tuple(int(self._eval_fast(ctx, i)) for i in expr.indices)
+            ctx.compute += 1
+            return float(self._priv_array(ctx, expr.array)[self._flat(expr.array, idxs)])
+        raise InterpError(f"unknown expression node {expr!r}")
+
+    # ----------------------------------------------------------- slow eval
+    def _eval(self, ctx: _Ctx, expr: Expr, pc: int):
+        """Generator evaluation; yields machine events, returns the value."""
+        if self._is_pure(expr):
+            return self._eval_fast(ctx, expr)
+        t = type(expr)
+        if t is Bin:
+            left = yield from self._eval(ctx, expr.left, pc)
+            right = yield from self._eval(ctx, expr.right, pc)
+            ctx.compute += 1
+            try:
+                return _BIN_FUNCS[expr.op](left, right)
+            except ZeroDivisionError:
+                raise InterpError(f"division by zero in {expr.op!r}") from None
+        if t is Un:
+            val = yield from self._eval(ctx, expr.operand, pc)
+            ctx.compute += 1
+            return _UN_FUNCS[expr.op](val)
+        if t is Load:  # shared load
+            idxs = []
+            for index_expr in expr.indices:
+                idx = yield from self._eval(ctx, index_expr, pc)
+                idxs.append(int(idx))
+            label = self.store.label(expr.array)
+            flat = label.flat_index(tuple(idxs))
+            addr = label.addr_of_flat(flat)
+            ctx.compute += 1
+            yield (EV_REF, ctx.take(), addr, False, pc)
+            return float(self.store.values[expr.array][flat])
+        raise InterpError(f"unexpected impure node {expr!r}")
+
+    # ------------------------------------------------------------- helpers
+    def _flat(self, name: str, idxs: tuple[int, ...]) -> int:
+        decl = self.program.array(name)
+        flat = 0
+        if decl.order == "C":
+            for idx, extent in zip(idxs, decl.shape):
+                if not 0 <= idx < extent:
+                    raise InterpError(f"{name}{list(idxs)}: index out of bounds")
+                flat = flat * extent + idx
+        else:
+            for idx, extent in zip(reversed(idxs), reversed(decl.shape)):
+                if not 0 <= idx < extent:
+                    raise InterpError(f"{name}{list(idxs)}: index out of bounds")
+                flat = flat * extent + idx
+        return flat
+
+    def _priv_array(self, ctx: _Ctx, name: str) -> np.ndarray:
+        arr = ctx.priv.get(name)
+        if arr is None:
+            decl = self.program.array(name)
+            arr = np.zeros(int(np.prod(decl.shape)), dtype=np.float64)
+            ctx.priv[name] = arr
+        return arr
+
+    def _target_addrs(self, ctx: _Ctx, target: AnnotTarget, pc: int) -> list[int]:
+        """Concrete element addresses covered by an annotation target."""
+        decl = self.program.array(target.array)
+        if decl.private:
+            raise InterpError(
+                f"CICO annotation on private array {target.array!r}"
+            )
+        # CICO annotations are semantics-free hints and "need not be placed
+        # perfectly accurately" (Section 4.5): hoisting can widen a guarded
+        # index expression past the array edge, so indices are clipped to
+        # the array bounds rather than faulting.
+        per_dim: list[list[int]] = []
+        for spec, extent in zip(target.specs, decl.shape):
+            if isinstance(spec, RangeSpec):
+                lo = int(self._eval_fast(ctx, spec.lo))
+                hi = int(self._eval_fast(ctx, spec.hi))
+                step = int(self._eval_fast(ctx, spec.step))
+                if step <= 0:
+                    raise InterpError(f"annotation range step {step} <= 0")
+                values = [v for v in range(lo, hi + 1, step) if 0 <= v < extent]
+            else:
+                value = int(self._eval_fast(ctx, spec))
+                values = [value] if 0 <= value < extent else []
+            if not values:
+                return []  # entire target out of range: ignore the hint
+            per_dim.append(values)
+        label = self.store.label(target.array)
+        addrs: list[int] = []
+        idx = [0] * len(per_dim)
+
+        def rec(dim: int) -> None:
+            if dim == len(per_dim):
+                addrs.append(label.addr_of(tuple(idx)))
+                return
+            for value in per_dim[dim]:
+                idx[dim] = value
+                rec(dim + 1)
+
+        rec(0)
+        return addrs
+
+    # ------------------------------------------------------------ statements
+    def _exec_block(self, ctx: _Ctx, body: list):
+        for stmt in body:
+            yield from self._exec(ctx, stmt)
+
+    def _exec(self, ctx: _Ctx, stmt):
+        t = type(stmt)
+        if t is Assign:
+            if self._is_pure(stmt.expr):
+                value = self._eval_fast(ctx, stmt.expr)
+            else:
+                value = yield from self._eval(ctx, stmt.expr, stmt.pc)
+            ctx.frame[stmt.name] = value
+            ctx.compute += 1
+            return
+        if t is Store:
+            idxs = []
+            for index_expr in stmt.indices:
+                if self._is_pure(index_expr):
+                    idxs.append(int(self._eval_fast(ctx, index_expr)))
+                else:
+                    idx = yield from self._eval(ctx, index_expr, stmt.pc)
+                    idxs.append(int(idx))
+            if self._is_pure(stmt.expr):
+                value = self._eval_fast(ctx, stmt.expr)
+            else:
+                value = yield from self._eval(ctx, stmt.expr, stmt.pc)
+            decl = self.program.array(stmt.array)
+            if decl.private:
+                ctx.compute += 1
+                self._priv_array(ctx, stmt.array)[self._flat(stmt.array, tuple(idxs))] = value
+                return
+            label = self.store.label(stmt.array)
+            flat = label.flat_index(tuple(idxs))
+            addr = label.addr_of_flat(flat)
+            ctx.compute += 1
+            yield (EV_REF, ctx.take(), addr, True, stmt.pc)
+            self.store.values[stmt.array][flat] = value
+            return
+        if t is For:
+            lo = int(self._value(ctx, stmt.lo, stmt.pc))
+            hi = int(self._value(ctx, stmt.hi, stmt.pc))
+            step = int(self._value(ctx, stmt.step, stmt.pc))
+            if step <= 0:
+                raise InterpError(f"for-loop step {step} <= 0 at pc {stmt.pc}")
+            frame = ctx.frame
+            for value in range(lo, hi + 1, step):
+                frame[stmt.var] = value
+                ctx.compute += 1
+                yield from self._exec_block(ctx, stmt.body)
+            return
+        if t is If:
+            if self._is_pure(stmt.cond):
+                cond = self._eval_fast(ctx, stmt.cond)
+            else:
+                cond = yield from self._eval(ctx, stmt.cond, stmt.pc)
+            ctx.compute += 1
+            yield from self._exec_block(ctx, stmt.then if cond else stmt.els)
+            return
+        if t is While:
+            while True:
+                if self._is_pure(stmt.cond):
+                    cond = self._eval_fast(ctx, stmt.cond)
+                else:
+                    cond = yield from self._eval(ctx, stmt.cond, stmt.pc)
+                ctx.compute += 1
+                if not cond:
+                    return
+                yield from self._exec_block(ctx, stmt.body)
+        if t is Barrier:
+            yield (EV_BARRIER, ctx.take(), stmt.pc)
+            return
+        if t is Annot:
+            addrs: list[int] = []
+            for target in stmt.targets:
+                addrs.extend(self._target_addrs(ctx, target, stmt.pc))
+            yield (EV_DIRECTIVE, ctx.take(), _ANNOT_TO_DIR[stmt.kind], addrs, stmt.pc)
+            return
+        if t is LockStmt:
+            addr = self._lock_addr(ctx, stmt)
+            yield (EV_LOCK, ctx.take(), addr, stmt.pc)
+            return
+        if t is UnlockStmt:
+            addr = self._lock_addr(ctx, stmt)
+            yield (EV_UNLOCK, ctx.take(), addr, stmt.pc)
+            return
+        if t is CallStmt:
+            func = self.program.function(stmt.func)
+            if len(func.params) != len(stmt.args):
+                raise InterpError(
+                    f"call {stmt.func!r}: expected {len(func.params)} args, "
+                    f"got {len(stmt.args)}"
+                )
+            # Evaluate arguments (may touch shared memory).
+            values = []
+            for arg in stmt.args:
+                if self._is_pure(arg):
+                    values.append(self._eval_fast(ctx, arg))
+                else:
+                    val = yield from self._eval(ctx, arg, stmt.pc)
+                    values.append(val)
+            ctx.frames.append(dict(zip(func.params, values)))
+            try:
+                yield from self._exec_block(ctx, func.body)
+            finally:
+                ctx.frames.pop()
+            return
+        if t is Comment:
+            return
+        raise InterpError(f"unknown statement {stmt!r}")
+
+    def _value(self, ctx: _Ctx, expr: Expr, pc: int) -> float:
+        """Evaluate an expression that must be pure (loop bounds, lock idx)."""
+        if not self._is_pure(expr):
+            raise InterpError(
+                f"expression at pc {pc} must not touch shared memory"
+            )
+        return self._eval_fast(ctx, expr)
+
+    def _lock_addr(self, ctx: _Ctx, stmt) -> int:
+        idxs = tuple(int(self._value(ctx, e, stmt.pc)) for e in stmt.indices)
+        return self.store.label(stmt.array).addr_of(idxs)
+
+    # ---------------------------------------------------------------- kernel
+    def kernel(self, node: int):
+        """Machine-event generator for one node."""
+        params = {"me": node}
+        params.update(self.params_fn(node))
+        ctx = _Ctx(node=node, params=params)
+        entry = self.program.function(self.program.entry)
+        yield from self._exec_block(ctx, entry.body)
+        if ctx.compute:
+            yield (EV_REF, ctx.take(), -1, False, -1)

@@ -1,0 +1,150 @@
+"""Loop / statement structure analysis.
+
+The annotator needs to answer static questions like:
+
+* where in the AST is the statement with pc *p* (its block, position, and
+  enclosing loop stack)?
+* is this index expression exactly the induction variable of that loop
+  (possibly offset by a constant)?
+* is this expression invariant with respect to a loop?
+
+These power the Section 4.3 presentation step (hoisting per-iteration
+annotations out of loops as range annotations, generating new loops for
+strided remainders) and the Section 4.2 placement step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Bin,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Local,
+    Param,
+    Program,
+    Stmt,
+    Un,
+    While,
+    child_blocks,
+)
+
+
+@dataclass(frozen=True)
+class StmtLocation:
+    """Where one statement lives inside the AST."""
+
+    stmt: Stmt
+    func: str
+    block: list  # the statement list that directly contains it
+    index: int  # position within ``block``
+    loops: tuple[For, ...]  # enclosing For loops, outermost first
+
+
+class StmtIndex:
+    """pc -> :class:`StmtLocation` for a whole program.
+
+    Rebuild after mutating the AST (insertions shift block indices).
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._by_pc: dict[int, StmtLocation] = {}
+        for func in program.functions.values():
+            self._walk(func.name, func.body, ())
+
+    def _walk(self, func: str, block: list, loops: tuple[For, ...]) -> None:
+        for index, stmt in enumerate(block):
+            if stmt.pc >= 0:
+                self._by_pc[stmt.pc] = StmtLocation(
+                    stmt=stmt, func=func, block=block, index=index, loops=loops
+                )
+            inner = loops + (stmt,) if isinstance(stmt, For) else loops
+            for child in child_blocks(stmt):
+                self._walk(func, child, inner)
+
+    def locate(self, pc: int) -> StmtLocation:
+        try:
+            return self._by_pc[pc]
+        except KeyError:
+            raise LangError(f"no statement with pc {pc}") from None
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    def pcs(self) -> list[int]:
+        return sorted(self._by_pc)
+
+
+# ---------------------------------------------------------------- expression
+def expr_locals(expr: Expr) -> set[str]:
+    """Names of local variables referenced by ``expr``."""
+    out: set[str] = set()
+    _collect(expr, out, None)
+    return out
+
+
+def expr_params(expr: Expr) -> set[str]:
+    """Names of runtime parameters referenced by ``expr``."""
+    out: set[str] = set()
+    _collect(expr, None, out)
+    return out
+
+
+def _collect(expr: Expr, locals_out: set | None, params_out: set | None) -> None:
+    t = type(expr)
+    if t is Local and locals_out is not None:
+        locals_out.add(expr.name)
+    elif t is Param and params_out is not None:
+        params_out.add(expr.name)
+    elif t is Bin:
+        _collect(expr.left, locals_out, params_out)
+        _collect(expr.right, locals_out, params_out)
+    elif t is Un:
+        _collect(expr.operand, locals_out, params_out)
+    elif t is Load:
+        for index in expr.indices:
+            _collect(index, locals_out, params_out)
+
+
+def is_invariant(expr: Expr, loop: For) -> bool:
+    """Conservatively: invariant iff it does not read the induction var."""
+    return loop.var not in expr_locals(expr)
+
+
+def match_loop_index(expr: Expr, loop: For) -> int | None:
+    """If ``expr`` is ``var`` or ``var +/- const`` for the loop's induction
+    variable, return the constant offset; else ``None``."""
+    if isinstance(expr, Local) and expr.name == loop.var:
+        return 0
+    if isinstance(expr, Bin) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        if (
+            isinstance(left, Local)
+            and left.name == loop.var
+            and isinstance(right, Const)
+        ):
+            off = right.value
+            return int(off) if expr.op == "+" else -int(off)
+        if (
+            expr.op == "+"
+            and isinstance(right, Local)
+            and right.name == loop.var
+            and isinstance(left, Const)
+        ):
+            return int(left.value)
+    return None
+
+
+def const_value(expr: Expr) -> int | None:
+    """Value of a constant expression, else None."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return int(value) if float(value).is_integer() else None
+    return None

@@ -1,0 +1,485 @@
+"""Parser for the paper-style pseudocode the unparser emits.
+
+The real Cachier parsed C source into an AST; our IR's concrete syntax is
+the paper's pseudocode, so this module completes the same loop:
+
+    text -> parse_program() -> Program -> annotate -> unparse_program() -> text
+
+Grammar (indentation-insensitive; block structure comes from keywords)::
+
+    program   := { funcdef | stmt }            (bare stmts form main())
+    funcdef   := "func" NAME "(" [params] ")" ":" { stmt }
+    stmt      := "for" NAME "=" expr "to" expr ["step" expr] "do" {stmt} "od"
+               | "while" expr "do" {stmt} "od"
+               | "if" expr "then" {stmt} ["else" {stmt}] "fi"
+               | "barrier" ["/*" label "*/"]
+               | "lock" target | "unlock" target
+               | "check_out_S" targets | "check_out_X" targets
+               | "check_in" targets | "prefetch_S" targets | "prefetch_X" targets
+               | "/***" text "***/"
+               | "call" NAME "(" [args] ")"
+               | NAME "[" indices "]" "=" expr      (array store)
+               | NAME "=" expr                      (local assign)
+    target    := NAME "[" spec {"," spec} "]"
+    spec      := expr [":" expr [":" expr]]
+
+Array declarations are not part of the pseudocode (the paper's listings
+omit them), so ``parse_program`` takes the array declarations — or an
+existing program to borrow them from.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    AnnotTarget,
+    ArrayDecl,
+    Assign,
+    Barrier,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    Program,
+    RangeSpec,
+    Store,
+    Un,
+    UnlockStmt,
+    While,
+    number_program,
+)
+
+_TOKEN = re.compile(
+    r"""
+    (?P<num>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><=|>=|==|!=|//|[-+*/%<>=():\[\],])
+  """,
+    re.VERBOSE,
+)
+
+_ANNOT_KEYWORDS = {kind.value: kind for kind in AnnotKind}
+_KEYWORDS = {
+    "for", "to", "step", "do", "od", "while", "if", "then", "else", "fi",
+    "barrier", "lock", "unlock", "call", "func", "and", "or", "not",
+    "min", "max", "sqrt", "abs", "floor", "exp", "sin", "cos",
+} | set(_ANNOT_KEYWORDS)
+
+_INTRINSICS = {"sqrt", "abs", "floor", "exp", "sin", "cos"}
+
+
+class _Lexer:
+    def __init__(self, line: str, lineno: int):
+        self.tokens: list[str] = []
+        self.lineno = lineno
+        pos = 0
+        while pos < len(line):
+            if line[pos].isspace():
+                pos += 1
+                continue
+            match = _TOKEN.match(line, pos)
+            if not match:
+                raise LangError(f"line {lineno}: cannot tokenize {line[pos:]!r}")
+            self.tokens.append(match.group())
+            pos = match.end()
+        self.at = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.at] if self.at < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise LangError(f"line {self.lineno}: unexpected end of line")
+        self.at += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise LangError(
+                f"line {self.lineno}: expected {token!r}, got {got!r}"
+            )
+
+    def done(self) -> bool:
+        return self.at >= len(self.tokens)
+
+
+class _ExprParser:
+    """Precedence-climbing expression parser over a lexer."""
+
+    def __init__(self, lex: _Lexer, known_params: set[str]):
+        self.lex = lex
+        self.params = known_params
+
+    def parse(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.lex.peek() == "or":
+            self.lex.next()
+            left = Bin("or", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._cmp()
+        while self.lex.peek() == "and":
+            self.lex.next()
+            left = Bin("and", left, self._cmp())
+        return left
+
+    def _cmp(self) -> Expr:
+        left = self._add()
+        if self.lex.peek() in ("<", "<=", ">", ">=", "==", "!="):
+            op = self.lex.next()
+            return Bin(op, left, self._add())
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while self.lex.peek() in ("+", "-"):
+            op = self.lex.next()
+            left = Bin(op, left, self._mul())
+        return left
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while self.lex.peek() in ("*", "/", "//", "%"):
+            op = self.lex.next()
+            left = Bin(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self.lex.peek() == "-":
+            self.lex.next()
+            return Un("neg", self._unary())
+        if self.lex.peek() == "not":
+            self.lex.next()
+            return Un("not", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self.lex.next()
+        if re.fullmatch(r"\d+\.\d+", token):
+            return Const(float(token))
+        if token.isdigit():
+            return Const(int(token))
+        if token == "(":
+            inner = self.parse()
+            self.lex.expect(")")
+            return inner
+        if token in _INTRINSICS:
+            self.lex.expect("(")
+            inner = self.parse()
+            self.lex.expect(")")
+            return Un(token, inner)
+        if token in ("min", "max"):
+            self.lex.expect("(")
+            left = self.parse()
+            self.lex.expect(",")
+            right = self.parse()
+            self.lex.expect(")")
+            return Bin(token, left, right)
+        if not re.fullmatch(r"[A-Za-z_]\w*", token):
+            raise LangError(
+                f"line {self.lex.lineno}: unexpected token {token!r}"
+            )
+        if self.lex.peek() == "[":
+            self.lex.next()
+            indices = [self.parse()]
+            while self.lex.peek() == ",":
+                self.lex.next()
+                indices.append(self.parse())
+            self.lex.expect("]")
+            return Load(token, tuple(indices))
+        if token in self.params:
+            return Param(token)
+        return Local(token)
+
+
+class _Parser:
+    def __init__(self, text: str, params: set[str]):
+        self.lines = [
+            (lineno, stripped)
+            for lineno, raw in enumerate(text.splitlines(), start=1)
+            if (stripped := raw.strip())
+        ]
+        self.at = 0
+        self.params = params | {"me"}
+
+    def peek_line(self) -> str | None:
+        return self.lines[self.at][1] if self.at < len(self.lines) else None
+
+    def next_line(self) -> tuple[int, str]:
+        if self.at >= len(self.lines):
+            raise LangError("unexpected end of program")
+        line = self.lines[self.at]
+        self.at += 1
+        return line
+
+    # ----------------------------------------------------------------- blocks
+    def parse_block(self, terminators: tuple[str, ...]) -> list:
+        stmts: list = []
+        while True:
+            line = self.peek_line()
+            if line is None:
+                # A function body may simply run to the end of the text;
+                # structured blocks must close explicitly.
+                if terminators and terminators != ("func",):
+                    raise LangError(
+                        f"missing {' / '.join(terminators)} before end of text"
+                    )
+                return stmts
+            first = line.split(None, 1)[0] if line else ""
+            if first in terminators or line in terminators:
+                return stmts
+            stmts.append(self.parse_stmt())
+
+    def parse_stmt(self):
+        lineno, line = self.next_line()
+        # Comments: /*** text ***/
+        if line.startswith("/***") and line.endswith("***/"):
+            return Comment(text=line[4:-4].strip())
+        lex = _Lexer(line, lineno)
+        head = lex.next()
+        if head == "for":
+            var = lex.next()
+            lex.expect("=")
+            expr = _ExprParser(lex, self.params)
+            lo = expr.parse()
+            lex.expect("to")
+            hi = expr.parse()
+            step: Expr = Const(1)
+            if lex.peek() == "step":
+                lex.next()
+                step = expr.parse()
+            lex.expect("do")
+            body = self.parse_block(("od",))
+            self.next_line()  # od
+            return For(var=var, lo=lo, hi=hi, body=body, step=step)
+        if head == "while":
+            expr = _ExprParser(lex, self.params)
+            cond = expr.parse()
+            lex.expect("do")
+            body = self.parse_block(("od",))
+            self.next_line()
+            return While(cond=cond, body=body)
+        if head == "if":
+            expr = _ExprParser(lex, self.params)
+            cond = expr.parse()
+            lex.expect("then")
+            then = self.parse_block(("else", "fi"))
+            els: list = []
+            marker, marker_line = self.lines[self.at][1], self.next_line()
+            if marker.startswith("else"):
+                els = self.parse_block(("fi",))
+                self.next_line()
+            return If(cond=cond, then=then, els=els)
+        if head == "barrier":
+            label = ""
+            rest = line[len("barrier"):].strip()
+            match = re.match(r"/\*\s*(.*?)\s*\*/", rest)
+            if match:
+                label = match.group(1)
+            return Barrier(label=label)
+        if head in ("lock", "unlock"):
+            expr = _ExprParser(lex, self.params)
+            ref = expr._atom()
+            if not isinstance(ref, Load):
+                raise LangError(f"line {lineno}: {head} needs an array element")
+            cls = LockStmt if head == "lock" else UnlockStmt
+            return cls(array=ref.array, indices=ref.indices)
+        if head in _ANNOT_KEYWORDS:
+            targets = [self._parse_target(lex, lineno)]
+            while lex.peek() == ",":
+                lex.next()
+                targets.append(self._parse_target(lex, lineno))
+            return Annot(kind=_ANNOT_KEYWORDS[head], targets=tuple(targets))
+        if head == "call":
+            func = lex.next()
+            lex.expect("(")
+            args: list[Expr] = []
+            if lex.peek() != ")":
+                expr = _ExprParser(lex, self.params)
+                args.append(expr.parse())
+                while lex.peek() == ",":
+                    lex.next()
+                    args.append(expr.parse())
+            lex.expect(")")
+            return CallStmt(func=func, args=tuple(args))
+        # Assignment: NAME [indices] = expr   or   NAME = expr
+        name = head
+        if lex.peek() == "[":
+            lex.next()
+            expr = _ExprParser(lex, self.params)
+            indices = [expr.parse()]
+            while lex.peek() == ",":
+                lex.next()
+                indices.append(expr.parse())
+            lex.expect("]")
+            lex.expect("=")
+            value = _ExprParser(lex, self.params).parse()
+            return Store(array=name, indices=tuple(indices), expr=value)
+        lex.expect("=")
+        value = _ExprParser(lex, self.params).parse()
+        return Assign(name=name, expr=value)
+
+    def _parse_target(self, lex: _Lexer, lineno: int) -> AnnotTarget:
+        array = lex.next()
+        lex.expect("[")
+        specs: list = []
+        expr = _ExprParser(lex, self.params)
+        while True:
+            first = expr.parse()
+            if lex.peek() == ":":
+                lex.next()
+                hi = expr.parse()
+                step: Expr = Const(1)
+                if lex.peek() == ":":
+                    lex.next()
+                    step = expr.parse()
+                specs.append(RangeSpec(lo=first, hi=hi, step=step))
+            else:
+                specs.append(first)
+            if lex.peek() == ",":
+                lex.next()
+                continue
+            lex.expect("]")
+            return AnnotTarget(array=array, specs=tuple(specs))
+
+
+_ARRAY_DECL = re.compile(
+    r"array\s+(\w+)\[([\d,\s]+)\]\s+elem=(\d+)\s+order=([CF])(\s+private)?"
+)
+
+
+def _extract_inline_decls(text: str) -> tuple[str, dict[str, ArrayDecl]]:
+    """Split leading ``array NAME[shape] elem=N order=C [private]`` headers
+    (the self-describing form ``unparse_program(declarations=True)`` emits)
+    from the program body."""
+    decls: dict[str, ArrayDecl] = {}
+    body_lines: list[str] = []
+    in_header = True
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_header and stripped.startswith("array "):
+            match = _ARRAY_DECL.fullmatch(stripped)
+            if not match:
+                raise LangError(f"bad array declaration: {stripped!r}")
+            name, shape_s, elem, order, private = match.groups()
+            shape = tuple(int(x) for x in shape_s.split(","))
+            decls[name] = ArrayDecl(
+                name, shape, int(elem), order, bool(private)
+            )
+            continue
+        if in_header and not stripped:
+            continue
+        in_header = False
+        body_lines.append(line)
+    return "\n".join(body_lines) + "\n", decls
+
+
+def parse_program(
+    text: str,
+    arrays: dict[str, ArrayDecl] | Program | None = None,
+    name: str = "parsed",
+    params: set[str] | None = None,
+) -> Program:
+    """Parse pseudocode into a numbered :class:`Program`.
+
+    ``arrays`` supplies the array declarations; pass an existing Program to
+    borrow its declarations, or ``None`` when the text carries inline
+    ``array`` header lines (``unparse_program(declarations=True)``).
+    ``params`` names the identifiers to treat as runtime parameters; when
+    borrowing from a Program they default to every Param the program uses,
+    and with inline declarations every unknown bare identifier that is never
+    assigned would be a Local — so pass ``params`` explicitly in that mode
+    if the program uses any besides ``me``.
+    """
+    inline_body, inline_decls = _extract_inline_decls(text)
+    if isinstance(arrays, Program):
+        if params is None:
+            params = _collect_params(arrays)
+        decls = dict(arrays.arrays)
+    elif arrays is None:
+        if not inline_decls:
+            raise LangError(
+                "no array declarations: pass `arrays` or use inline "
+                "`array` header lines"
+            )
+        decls = inline_decls
+    else:
+        decls = dict(arrays)
+    if inline_decls:
+        text = inline_body
+        decls = {**inline_decls, **{k: v for k, v in decls.items()
+                                    if k not in inline_decls}}
+    parser = _Parser(text, params or set())
+
+    functions: dict[str, Function] = {}
+    main_body: list = []
+    while parser.peek_line() is not None:
+        line = parser.peek_line()
+        if line.startswith("func "):
+            lineno, header = parser.next_line()
+            match = re.match(r"func\s+(\w+)\((.*?)\):", header)
+            if not match:
+                raise LangError(f"line {lineno}: bad function header {header!r}")
+            fname = match.group(1)
+            fparams = tuple(
+                p.strip() for p in match.group(2).split(",") if p.strip()
+            )
+            body = parser.parse_block(("func",))
+            functions[fname] = Function(name=fname, params=fparams, body=body)
+        else:
+            main_body.append(parser.parse_stmt())
+    if main_body:
+        if "main" in functions:
+            raise LangError("both bare statements and a main() function given")
+        functions["main"] = Function(name="main", params=(), body=main_body)
+    if "main" not in functions:
+        raise LangError("no main() function and no bare statements")
+    program = Program(name=name, arrays=decls, functions=functions)
+    return number_program(program)
+
+
+def _collect_params(program: Program) -> set[str]:
+    from repro.lang.ast import walk_stmts
+    from repro.lang.loops import expr_params
+
+    out: set[str] = set()
+
+    def scan_expr(expr):
+        out.update(expr_params(expr))
+
+    for func in program.functions.values():
+        for stmt in walk_stmts(func.body):
+            for attr in ("expr", "cond", "lo", "hi", "step"):
+                value = getattr(stmt, attr, None)
+                if value is not None and isinstance(value, Expr):
+                    scan_expr(value)
+            for attr in ("indices", "args"):
+                for value in getattr(stmt, attr, ()) or ():
+                    scan_expr(value)
+            for target in getattr(stmt, "targets", ()) or ():
+                for spec in target.specs:
+                    if isinstance(spec, RangeSpec):
+                        scan_expr(spec.lo)
+                        scan_expr(spec.hi)
+                        scan_expr(spec.step)
+                    else:
+                        scan_expr(spec)
+    return out

@@ -1,0 +1,204 @@
+"""Pretty-printer producing the paper's pseudocode style.
+
+The annotated matrix multiply in Section 4.4 looks like::
+
+    for i = 1 to N do
+        for k = Lkp to Ukp do
+            check_out_S A[i, k]
+            t = A[i, k]
+            check_out_S B[k, Ljp:Ujp]
+            for j = Ljp to Ujp do
+                check_out_X C[i, j]
+                /*** Data Race on C[i, j] ***/
+                C[i, j] = C[i, j] + t * B[k, j]
+                check_in C[i, j]
+            od
+            check_in B[k, Ljp:Ujp]
+        od
+    od
+
+``unparse_program`` produces exactly this shape; ``unparse_with_map`` also
+returns a pc -> line-number mapping (what a compiler's line table would be).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnparseError
+from repro.lang.ast import (
+    Annot,
+    AnnotTarget,
+    Assign,
+    Barrier,
+    Bin,
+    CallStmt,
+    Comment,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    Program,
+    RangeSpec,
+    Store,
+    Un,
+    UnlockStmt,
+    While,
+)
+
+_PREC = {
+    "or": 1,
+    "and": 2,
+    "<": 3, "<=": 3, ">": 3, ">=": 3, "==": 3, "!=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "//": 5, "%": 5,
+}
+_UNARY = {"neg": "-", "not": "not "}
+
+
+def expr_str(expr: Expr, prec: int = 0) -> str:
+    t = type(expr)
+    if t is Const:
+        value = expr.value
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    if t is Param or t is Local:
+        return expr.name
+    if t is Load:
+        inner = ", ".join(expr_str(i) for i in expr.indices)
+        return f"{expr.array}[{inner}]"
+    if t is Un:
+        if expr.op in _UNARY:
+            inner = _UNARY[expr.op] + expr_str(expr.operand, 6)
+            return f"({inner})" if prec >= 6 else inner
+        return f"{expr.op}({expr_str(expr.operand)})"
+    if t is Bin:
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({expr_str(expr.left)}, {expr_str(expr.right)})"
+        p = _PREC[expr.op]
+        left = expr_str(expr.left, p)
+        right = expr_str(expr.right, p + 1)  # left-associative
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec > p else text
+    raise UnparseError(f"cannot print expression {expr!r}")
+
+
+def _spec_str(spec) -> str:
+    if isinstance(spec, RangeSpec):
+        lo, hi = expr_str(spec.lo), expr_str(spec.hi)
+        if isinstance(spec.step, Const) and spec.step.value == 1:
+            return f"{lo}:{hi}"
+        return f"{lo}:{hi}:{expr_str(spec.step)}"
+    return expr_str(spec)
+
+
+def target_str(target: AnnotTarget) -> str:
+    inner = ", ".join(_spec_str(spec) for spec in target.specs)
+    return f"{target.array}[{inner}]"
+
+
+class _Printer:
+    def __init__(self, indent: str = "    "):
+        self.lines: list[str] = []
+        self.pc_to_line: dict[int, int] = {}
+        self.indent_str = indent
+        self.depth = 0
+
+    def emit(self, text: str, pc: int = -1) -> None:
+        self.lines.append(self.indent_str * self.depth + text)
+        if pc >= 0 and pc not in self.pc_to_line:
+            self.pc_to_line[pc] = len(self.lines)
+
+    def block(self, body) -> None:
+        self.depth += 1
+        for stmt in body:
+            self.stmt(stmt)
+        self.depth -= 1
+
+    def stmt(self, stmt) -> None:
+        t = type(stmt)
+        if t is Assign:
+            self.emit(f"{stmt.name} = {expr_str(stmt.expr)}", stmt.pc)
+        elif t is Store:
+            idx = ", ".join(expr_str(i) for i in stmt.indices)
+            self.emit(f"{stmt.array}[{idx}] = {expr_str(stmt.expr)}", stmt.pc)
+        elif t is For:
+            head = (
+                f"for {stmt.var} = {expr_str(stmt.lo)} to {expr_str(stmt.hi)}"
+            )
+            if not (isinstance(stmt.step, Const) and stmt.step.value == 1):
+                head += f" step {expr_str(stmt.step)}"
+            self.emit(head + " do", stmt.pc)
+            self.block(stmt.body)
+            self.emit("od")
+        elif t is While:
+            self.emit(f"while {expr_str(stmt.cond)} do", stmt.pc)
+            self.block(stmt.body)
+            self.emit("od")
+        elif t is If:
+            self.emit(f"if {expr_str(stmt.cond)} then", stmt.pc)
+            self.block(stmt.then)
+            if stmt.els:
+                self.emit("else")
+                self.block(stmt.els)
+            self.emit("fi")
+        elif t is Barrier:
+            label = f"  /* {stmt.label} */" if stmt.label else ""
+            self.emit("barrier" + label, stmt.pc)
+        elif t is Annot:
+            targets = ", ".join(target_str(tg) for tg in stmt.targets)
+            self.emit(f"{stmt.kind.value} {targets}", stmt.pc)
+        elif t is Comment:
+            self.emit(f"/*** {stmt.text} ***/", stmt.pc)
+        elif t is LockStmt:
+            idx = ", ".join(expr_str(i) for i in stmt.indices)
+            self.emit(f"lock {stmt.array}[{idx}]", stmt.pc)
+        elif t is UnlockStmt:
+            idx = ", ".join(expr_str(i) for i in stmt.indices)
+            self.emit(f"unlock {stmt.array}[{idx}]", stmt.pc)
+        elif t is CallStmt:
+            args = ", ".join(expr_str(a) for a in stmt.args)
+            self.emit(f"call {stmt.func}({args})", stmt.pc)
+        else:
+            raise UnparseError(f"cannot print statement {stmt!r}")
+
+
+def unparse_with_map(
+    program: Program, declarations: bool = False
+) -> tuple[str, dict[int, int]]:
+    """Program text plus a pc -> 1-based line-number map.
+
+    With ``declarations=True`` the text begins with ``array`` header lines
+    (name, shape, element size, order, private flag) so the result is fully
+    self-describing and :func:`repro.lang.parse.parse_program` can rebuild
+    the program from the text alone."""
+    printer = _Printer()
+    if declarations:
+        for decl in program.arrays.values():
+            shape = ", ".join(str(n) for n in decl.shape)
+            extra = " private" if decl.private else ""
+            printer.emit(
+                f"array {decl.name}[{shape}] elem={decl.elem_size} "
+                f"order={decl.order}{extra}"
+            )
+        if program.arrays:
+            printer.emit("")
+    multi = len(program.functions) > 1
+    for index, func in enumerate(program.functions.values()):
+        if multi:
+            if index:
+                printer.emit("")
+            params = ", ".join(func.params)
+            printer.emit(f"func {func.name}({params}):")
+            printer.block(func.body)
+        else:
+            for stmt in func.body:
+                printer.stmt(stmt)
+    return "\n".join(printer.lines) + "\n", printer.pc_to_line
+
+
+def unparse_program(program: Program, declarations: bool = False) -> str:
+    return unparse_with_map(program, declarations=declarations)[0]

@@ -1,0 +1,43 @@
+"""Machine configuration.
+
+The paper's evaluation machine (Section 6): 32 processor nodes, each with a
+256 KB 4-way set-associative shared-data cache with 32-byte blocks, running
+the Dir1SW protocol over a constant-latency network.  Those are the defaults;
+the scaled-down benchmark runs shrink nodes/cache proportionally to the data
+set (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.costs import CostModel
+from repro.errors import MachineError
+from repro.mem.address import check_power_of_two
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    num_nodes: int = 32
+    cache_size: int = 256 * 1024
+    block_size: int = 32
+    assoc: int = 4
+    cost: CostModel = field(default_factory=CostModel)
+    lock_cycles: int = 40  # acquire/release cost of an uncontended lock
+    #: "dir1sw" (the paper's protocol) or "fullmap" (DASH-style baseline
+    #: with hardware multicast invalidation, for the protocol ablation).
+    protocol: str = "dir1sw"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise MachineError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.protocol not in ("dir1sw", "fullmap"):
+            raise MachineError(f"unknown protocol {self.protocol!r}")
+        check_power_of_two(self.cache_size, "cache_size")
+        check_power_of_two(self.block_size, "block_size")
+
+    def scaled(self, **overrides) -> "MachineConfig":
+        """A copy with some fields replaced (convenience for harness sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

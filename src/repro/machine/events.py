@@ -1,0 +1,43 @@
+"""Kernel event vocabulary.
+
+A node kernel is a Python *generator* that yields plain tuples; tuples (not
+dataclasses) because every simulated shared reference allocates one and the
+interpreter is the hot path.  The first element is an event code:
+
+* ``(EV_REF, compute, addr, is_write, pc)`` — shared memory reference.
+  ``compute`` is the number of arithmetic cycles executed since the previous
+  event (charged before the reference).
+* ``(EV_BARRIER, compute, pc)`` — barrier arrival.
+* ``(EV_DIRECTIVE, compute, kind, addrs, pc)`` — CICO directive over a list
+  of element addresses (the machine collapses them to distinct blocks and
+  issues one protocol operation per block, which is exactly how the CICO
+  cost model counts).
+* ``(EV_LOCK, compute, addr, pc)`` / ``(EV_UNLOCK, compute, addr, pc)``.
+
+A kernel simply returning ends that node's participation; any trailing
+compute should be flushed with a final zero-address directive-free event —
+the IR interpreter emits ``(EV_REF, compute, -1, False, -1)`` sentinels for
+this (addr < 0 means "no reference, just time").
+"""
+
+from __future__ import annotations
+
+EV_REF = 0
+EV_BARRIER = 1
+EV_DIRECTIVE = 2
+EV_LOCK = 3
+EV_UNLOCK = 4
+
+DIR_CHECK_OUT_S = 0
+DIR_CHECK_OUT_X = 1
+DIR_CHECK_IN = 2
+DIR_PREFETCH_S = 3
+DIR_PREFETCH_X = 4
+
+DIRECTIVE_NAMES = {
+    DIR_CHECK_OUT_S: "check_out_S",
+    DIR_CHECK_OUT_X: "check_out_X",
+    DIR_CHECK_IN: "check_in",
+    DIR_PREFETCH_S: "prefetch_S",
+    DIR_PREFETCH_X: "prefetch_X",
+}

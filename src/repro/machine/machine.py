@@ -1,0 +1,293 @@
+"""The simulated multiprocessor.
+
+:class:`Machine` drives one generator ("kernel") per node, interleaving them
+by per-node virtual time: at each step the ready node with the smallest clock
+advances by one event.  This gives a deterministic but realistic interleaving
+— cross-node races resolve in virtual-time order, the way they would on the
+execution-driven WWT.
+
+Responsibilities:
+
+* charge compute cycles and memory-system latencies to node clocks,
+* run the Dir1SW protocol for every shared reference and CICO directive,
+* implement barrier synchronisation (the paper's program model, Fig. 2:
+  epochs are the intervals between barriers) and the per-barrier epoch
+  counter / virtual-time stamps,
+* implement simple queued locks,
+* notify an optional :class:`RunListener` of misses and barriers — this is
+  the hook the trace collector (Section 3.3) plugs into, including the
+  flush-shared-caches-at-every-barrier behaviour of trace mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from repro.cache.stats import CacheStats
+from repro.coherence.messages import MessageKind
+from repro.coherence.protocol import AccessKind, AccessResult, Dir1SWProtocol
+from repro.errors import BarrierError, MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.events import (
+    DIR_CHECK_IN,
+    DIR_CHECK_OUT_S,
+    DIR_CHECK_OUT_X,
+    DIR_PREFETCH_S,
+    DIR_PREFETCH_X,
+    EV_BARRIER,
+    EV_DIRECTIVE,
+    EV_LOCK,
+    EV_REF,
+    EV_UNLOCK,
+)
+
+
+class RunListener(Protocol):
+    """Observer interface for trace collection and instrumentation."""
+
+    def on_access(
+        self, node: int, epoch: int, addr: int, pc: int, result: AccessResult
+    ) -> None: ...
+
+    def on_barrier(self, epoch: int, vt: int, node_pcs: dict[int, int]) -> None: ...
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    cycles: int  # max node virtual time at completion
+    epochs: int  # number of barrier crossings
+    stats: CacheStats  # machine-wide totals
+    per_node: list[CacheStats]
+    traffic: dict[MessageKind, int]
+    sw_traps: int
+    recalls: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.traffic.values())
+
+    def epoch_times(self) -> list[int]:
+        """Cycles spent in each epoch (deltas of the barrier virtual times,
+        plus the final epoch up to program completion)."""
+        vts = self.extra.get("barrier_vts", [])
+        out = []
+        prev = 0
+        for vt in vts:
+            out.append(vt - prev)
+            prev = vt
+        if self.cycles > prev:
+            out.append(self.cycles - prev)
+        return out
+
+
+Kernel = Iterator[tuple]
+KernelFactory = Callable[[int], Kernel]
+
+
+@dataclass(slots=True)
+class _NodeState:
+    kernel: Kernel
+    clock: int = 0
+    at_barrier: bool = False
+    barrier_pc: int = -1
+    waiting_lock: int | None = None
+    done: bool = False
+    pending: tuple | None = None  # action deferred until its clock is minimal
+
+
+class Machine:
+    def __init__(self, config: MachineConfig, listener: RunListener | None = None,
+                 flush_at_barrier: bool = False):
+        self.config = config
+        if config.protocol == "fullmap":
+            from repro.coherence.fullmap import FullMapProtocol
+
+            protocol_cls = FullMapProtocol
+        else:
+            protocol_cls = Dir1SWProtocol
+        self.protocol = protocol_cls(
+            num_nodes=config.num_nodes,
+            cache_size=config.cache_size,
+            block_size=config.block_size,
+            assoc=config.assoc,
+            cost=config.cost,
+        )
+        self.listener = listener
+        self.flush_at_barrier = flush_at_barrier
+        self.epoch = 0
+        self._block_shift = config.block_size.bit_length() - 1
+        self._lock_holders: dict[int, int] = {}  # lock addr -> node
+        self._lock_queues: dict[int, list[int]] = {}
+        self._barrier_vts: list[int] = []  # virtual time at each barrier
+
+    # ------------------------------------------------------------------ run
+    def run(self, kernel_factory: KernelFactory) -> RunResult:
+        """Execute ``kernel_factory(node_id)`` on every node to completion."""
+        cfg = self.config
+        nodes = [_NodeState(kernel=kernel_factory(i)) for i in range(cfg.num_nodes)]
+        # Ready heap of (clock, node_id); nodes waiting at a barrier or on a
+        # lock are absent from the heap until released.
+        heap: list[tuple[int, int]] = [(0, i) for i in range(cfg.num_nodes)]
+        heapq.heapify(heap)
+        live = cfg.num_nodes
+        barrier_waiters: list[int] = []
+
+        while heap:
+            clock, nid = heapq.heappop(heap)
+            state = nodes[nid]
+            if state.clock != clock:
+                continue  # stale heap entry
+            if state.pending is not None:
+                event = state.pending
+                state.pending = None
+            else:
+                try:
+                    event = next(state.kernel)
+                except StopIteration:
+                    state.done = True
+                    live -= 1
+                    if barrier_waiters and live == len(barrier_waiters):
+                        raise BarrierError(
+                            f"deadlock: node {nid} finished while nodes "
+                            f"{sorted(barrier_waiters)} wait at a barrier"
+                        ) from None
+                    continue
+                # Charge the event's compute cycles first; if that pushes this
+                # node past another ready node, defer the *action* so that
+                # cross-node ordering reflects the virtual time of the action
+                # itself, not of the preceding computation.
+                compute = event[1]
+                if compute:
+                    state.clock += compute * cfg.cost.compute_cycles
+                    if heap and heap[0][0] < state.clock:
+                        state.pending = event
+                        heapq.heappush(heap, (state.clock, nid))
+                        continue
+
+            code = event[0]
+            if code == EV_REF:
+                _, _compute, addr, is_write, pc = event
+                if addr >= 0:
+                    block = addr >> self._block_shift
+                    if is_write:
+                        result = self.protocol.write(nid, block, state.clock)
+                    else:
+                        result = self.protocol.read(nid, block, state.clock)
+                    state.clock += result.cycles
+                    if self.listener is not None and result.kind is not AccessKind.HIT:
+                        self.listener.on_access(nid, self.epoch, addr, pc, result)
+                heapq.heappush(heap, (state.clock, nid))
+
+            elif code == EV_BARRIER:
+                _, _compute, pc = event
+                state.at_barrier = True
+                state.barrier_pc = pc
+                barrier_waiters.append(nid)
+                if len(barrier_waiters) == live:
+                    self._release_barrier(nodes, barrier_waiters, heap)
+                    barrier_waiters = []
+                # else: node stays off the heap until the barrier opens
+
+            elif code == EV_DIRECTIVE:
+                _, _compute, kind, addrs, pc = event
+                state.clock += self._issue_directive(nid, kind, addrs, state.clock)
+                heapq.heappush(heap, (state.clock, nid))
+
+            elif code == EV_LOCK:
+                _, _compute, addr, pc = event
+                holder = self._lock_holders.get(addr)
+                if holder is None:
+                    self._lock_holders[addr] = nid
+                    state.clock += cfg.lock_cycles
+                    heapq.heappush(heap, (state.clock, nid))
+                else:
+                    state.waiting_lock = addr
+                    self._lock_queues.setdefault(addr, []).append(nid)
+                    # off the heap until the lock is granted
+
+            elif code == EV_UNLOCK:
+                _, _compute, addr, pc = event
+                if self._lock_holders.get(addr) != nid:
+                    raise MachineError(
+                        f"node {nid} unlocked {addr:#x} it does not hold"
+                    )
+                del self._lock_holders[addr]
+                queue = self._lock_queues.get(addr)
+                if queue:
+                    waiter = queue.pop(0)
+                    wstate = nodes[waiter]
+                    wstate.waiting_lock = None
+                    wstate.clock = max(wstate.clock, state.clock) + cfg.lock_cycles
+                    self._lock_holders[addr] = waiter
+                    heapq.heappush(heap, (wstate.clock, waiter))
+                heapq.heappush(heap, (state.clock, nid))
+
+            else:
+                raise MachineError(f"unknown kernel event {event!r}")
+
+        if barrier_waiters:
+            raise BarrierError(
+                f"program ended with nodes {sorted(barrier_waiters)} at a barrier"
+            )
+        if self._lock_holders:
+            raise MachineError(f"program ended holding locks {self._lock_holders}")
+
+        cycles = max((n.clock for n in nodes), default=0)
+        totals = self.protocol.totals()
+        return RunResult(
+            cycles=cycles,
+            epochs=self.epoch,
+            stats=totals,
+            per_node=self.protocol.stats,
+            traffic=self.protocol.network.traffic_by_kind(),
+            sw_traps=self.protocol.proto_stats.sw_traps,
+            recalls=self.protocol.proto_stats.recalls,
+            extra={"barrier_vts": list(self._barrier_vts)},
+        )
+
+    # ---------------------------------------------------------------- internals
+    def _release_barrier(
+        self, nodes: list[_NodeState], waiters: list[int], heap: list
+    ) -> None:
+        vt = max(nodes[nid].clock for nid in waiters)
+        self._barrier_vts.append(vt)
+        if self.listener is not None:
+            self.listener.on_barrier(
+                self.epoch, vt, {nid: nodes[nid].barrier_pc for nid in waiters}
+            )
+        if self.flush_at_barrier:
+            for nid in waiters:
+                self.protocol.flush_node(nid)
+        self.epoch += 1
+        resume = vt + self.config.cost.barrier_cycles
+        for nid in waiters:
+            nodes[nid].at_barrier = False
+            nodes[nid].clock = resume
+            heapq.heappush(heap, (resume, nid))
+
+    def _issue_directive(self, node: int, kind: int, addrs, now: int) -> int:
+        """Issue one protocol operation per distinct block; return cycles."""
+        shift = self._block_shift
+        blocks = sorted({a >> shift for a in addrs if a >= 0})
+        cycles = 0
+        proto = self.protocol
+        for block in blocks:
+            at = now + cycles
+            if kind == DIR_CHECK_OUT_S:
+                cycles += proto.check_out(node, block, exclusive=False, now=at)
+            elif kind == DIR_CHECK_OUT_X:
+                cycles += proto.check_out(node, block, exclusive=True, now=at)
+            elif kind == DIR_CHECK_IN:
+                cycles += proto.check_in(node, block)
+            elif kind == DIR_PREFETCH_S:
+                cycles += proto.prefetch(node, block, exclusive=False, now=at)
+            elif kind == DIR_PREFETCH_X:
+                cycles += proto.prefetch(node, block, exclusive=True, now=at)
+            else:
+                raise MachineError(f"unknown directive kind {kind}")
+        return cycles

@@ -1,0 +1,23 @@
+"""Memory substrate: addresses, cache-block arithmetic, regions, labels."""
+
+from repro.mem.address import (
+    block_base,
+    block_of,
+    blocks_covering,
+    check_power_of_two,
+)
+from repro.mem.layout import AddressSpace, Region, SHARED_BASE
+from repro.mem.labels import ArrayLabel, LabelTable, VarRef
+
+__all__ = [
+    "block_base",
+    "block_of",
+    "blocks_covering",
+    "check_power_of_two",
+    "AddressSpace",
+    "Region",
+    "SHARED_BASE",
+    "ArrayLabel",
+    "LabelTable",
+    "VarRef",
+]

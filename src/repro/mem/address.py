@@ -1,0 +1,38 @@
+"""Address and cache-block arithmetic.
+
+Addresses are plain integers (byte addresses).  A cache block of size ``B``
+(a power of two) containing byte address ``a`` has *block number*
+``a // B``; all coherence state is kept per block number.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+
+
+def check_power_of_two(value: int, what: str = "value") -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    if value <= 0 or value & (value - 1):
+        raise AddressError(f"{what} must be a positive power of two, got {value}")
+    return value
+
+
+def block_of(addr: int, block_size: int) -> int:
+    """Block number containing byte address ``addr``."""
+    if addr < 0:
+        raise AddressError(f"negative address {addr:#x}")
+    return addr // block_size
+
+
+def block_base(block: int, block_size: int) -> int:
+    """First byte address of block number ``block``."""
+    return block * block_size
+
+
+def blocks_covering(addr: int, nbytes: int, block_size: int) -> range:
+    """Range of block numbers touched by ``nbytes`` starting at ``addr``."""
+    if nbytes <= 0:
+        raise AddressError(f"non-positive extent {nbytes}")
+    first = block_of(addr, block_size)
+    last = block_of(addr + nbytes - 1, block_size)
+    return range(first, last + 1)

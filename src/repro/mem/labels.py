@@ -1,0 +1,170 @@
+"""Labelled shared regions: mapping raw addresses back to program variables.
+
+Section 4.3 of the paper: *"Cachier uses another utility which allows
+labelled regions of memory to be mapped onto program data structures.  The
+programmer uses a macro to label a continuous region of shared-memory with a
+name.  To use Cachier, a programmer must label all important shared data
+structures."*
+
+:class:`ArrayLabel` is that macro's record: it ties a :class:`Region` to an
+array name, element size, shape, and storage order.  :class:`LabelTable` is
+the lookup structure Cachier consults to turn trace addresses into
+:class:`VarRef` objects (array name + element indices) and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.errors import LabelError
+from repro.mem.layout import Region
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    """A reference to one element of a labelled array: name + indices."""
+
+    array: str
+    indices: tuple[int, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.indices)
+        return f"{self.array}[{inner}]"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayLabel:
+    """Shape metadata for a labelled region.
+
+    ``order`` is ``"C"`` (row-major) or ``"F"`` (column-major); the Jacobi
+    example in Section 2.1 assumes column-major storage, so both matter.
+    """
+
+    region: Region
+    shape: tuple[int, ...]
+    elem_size: int
+    order: str = "C"
+
+    def __post_init__(self) -> None:
+        if self.order not in ("C", "F"):
+            raise LabelError(f"order must be 'C' or 'F', got {self.order!r}")
+        if self.elem_size <= 0:
+            raise LabelError(f"elem_size must be positive, got {self.elem_size}")
+        if not self.shape or any(n <= 0 for n in self.shape):
+            raise LabelError(f"bad shape {self.shape!r}")
+        need = prod(self.shape) * self.elem_size
+        if need > self.region.nbytes:
+            raise LabelError(
+                f"label {self.name!r}: shape {self.shape} x {self.elem_size}B "
+                f"needs {need}B but region has {self.region.nbytes}B"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.region.name
+
+    @property
+    def num_elements(self) -> int:
+        return prod(self.shape)
+
+    # -- index <-> flat <-> address -----------------------------------------
+    def flat_index(self, indices: tuple[int, ...]) -> int:
+        if len(indices) != len(self.shape):
+            raise LabelError(
+                f"{self.name}: expected {len(self.shape)} indices, got {indices!r}"
+            )
+        for idx, extent in zip(indices, self.shape):
+            if not 0 <= idx < extent:
+                raise LabelError(f"{self.name}{list(indices)}: index out of bounds")
+        flat = 0
+        if self.order == "C":
+            for idx, extent in zip(indices, self.shape):
+                flat = flat * extent + idx
+        else:  # column-major: first index varies fastest
+            for idx, extent in zip(reversed(indices), reversed(self.shape)):
+                flat = flat * extent + idx
+        return flat
+
+    def unflatten(self, flat: int) -> tuple[int, ...]:
+        if not 0 <= flat < self.num_elements:
+            raise LabelError(f"{self.name}: flat index {flat} out of bounds")
+        out: list[int] = []
+        if self.order == "C":
+            for extent in reversed(self.shape):
+                out.append(flat % extent)
+                flat //= extent
+            out.reverse()
+        else:
+            for extent in self.shape:
+                out.append(flat % extent)
+                flat //= extent
+        return tuple(out)
+
+    def addr_of(self, indices: tuple[int, ...]) -> int:
+        return self.region.base + self.flat_index(indices) * self.elem_size
+
+    def addr_of_flat(self, flat: int) -> int:
+        if not 0 <= flat < self.num_elements:
+            raise LabelError(f"{self.name}: flat index {flat} out of bounds")
+        return self.region.base + flat * self.elem_size
+
+    def ref_of(self, addr: int) -> VarRef:
+        off = addr - self.region.base
+        if not 0 <= off < self.num_elements * self.elem_size:
+            raise LabelError(f"address {addr:#x} not inside label {self.name!r}")
+        return VarRef(self.name, self.unflatten(off // self.elem_size))
+
+
+class LabelTable:
+    """All labels of one program; supports address -> VarRef resolution."""
+
+    def __init__(self) -> None:
+        self._labels: dict[str, ArrayLabel] = {}
+        # Sorted (base, end, label) spans for binary search.
+        self._spans: list[tuple[int, int, ArrayLabel]] = []
+
+    def add(self, label: ArrayLabel) -> ArrayLabel:
+        if label.name in self._labels:
+            raise LabelError(f"duplicate label {label.name!r}")
+        self._labels[label.name] = label
+        self._spans.append((label.region.base, label.region.end, label))
+        self._spans.sort(key=lambda span: span[0])
+        return label
+
+    def get(self, name: str) -> ArrayLabel:
+        try:
+            return self._labels[name]
+        except KeyError:
+            raise LabelError(f"unknown label {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._labels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._labels
+
+    def __iter__(self):
+        return iter(self._labels.values())
+
+    def find(self, addr: int) -> ArrayLabel | None:
+        """Label whose region contains ``addr``, or ``None``."""
+        spans = self._spans
+        lo, hi = 0, len(spans)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            base, end, label = spans[mid]
+            if addr < base:
+                hi = mid
+            elif addr >= end:
+                lo = mid + 1
+            else:
+                return label
+        return None
+
+    def resolve(self, addr: int) -> VarRef:
+        """Map ``addr`` to a :class:`VarRef`; raise if unlabelled."""
+        label = self.find(addr)
+        if label is None:
+            raise LabelError(f"address {addr:#x} is not in any labelled region")
+        return label.ref_of(addr)

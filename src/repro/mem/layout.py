@@ -1,0 +1,91 @@
+"""Shared address-space layout.
+
+The simulated machine has a single shared address space.  Workloads allocate
+named, contiguous, block-aligned regions from an :class:`AddressSpace`; the
+resulting :class:`Region` objects are what the labelling utility
+(:mod:`repro.mem.labels`) attaches array shape information to.
+
+Alignment to cache blocks matters: the paper's false-sharing discussion
+(Sections 4.1, 5) is about distinct program elements sharing a block, and the
+restructuring fix pads / copies data precisely to control that.  Regions are
+therefore always block-aligned, while *elements inside* a region may share
+blocks, exactly as in a real allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+from repro.mem.address import check_power_of_two
+
+#: Base of the shared segment.  Private (per-node) data is modelled outside
+#: the address space entirely, so any address >= SHARED_BASE is shared.
+SHARED_BASE = 0x1000_0000
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A named, contiguous, block-aligned span of shared memory."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+@dataclass
+class AddressSpace:
+    """Bump allocator for shared regions.
+
+    Deterministic: allocation order fully determines the layout, so traces
+    and annotations are reproducible run to run.
+    """
+
+    block_size: int = 32
+    base: int = SHARED_BASE
+    _cursor: int = field(init=False)
+    _regions: dict[str, Region] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.block_size, "block_size")
+        self._cursor = self.base
+
+    def allocate(self, name: str, nbytes: int) -> Region:
+        """Allocate ``nbytes`` (rounded up to a whole block) under ``name``."""
+        if nbytes <= 0:
+            raise LayoutError(f"region {name!r}: non-positive size {nbytes}")
+        if name in self._regions:
+            raise LayoutError(f"region {name!r} already allocated")
+        size = -(-nbytes // self.block_size) * self.block_size
+        region = Region(name=name, base=self._cursor, nbytes=size)
+        self._cursor += size
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise LayoutError(f"unknown region {name!r}") from None
+
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions.values())
+
+    def find(self, addr: int) -> Region | None:
+        """Region containing ``addr``, or ``None``."""
+        for region in self._regions.values():
+            if region.contains(addr):
+                return region
+        return None
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._cursor - self.base

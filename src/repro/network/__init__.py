@@ -1,0 +1,5 @@
+"""Interconnect model."""
+
+from repro.network.model import Network
+
+__all__ = ["Network"]

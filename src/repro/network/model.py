@@ -1,0 +1,44 @@
+"""Constant-latency interconnect with traffic accounting.
+
+The Wisconsin Wind Tunnel modelled the network as a constant-latency,
+contention-free interconnect (100 cycles per message in the configuration the
+CICO papers used); we default to the same.  What the CICO annotations change
+is *how many* protocol messages are sent and *how many* of them sit on an
+access's critical path — both are counted here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.coherence.messages import MessageKind
+
+
+@dataclass
+class Network:
+    """Contention-free interconnect: every hop costs ``hop_latency`` cycles."""
+
+    hop_latency: int = 100
+    _traffic: Counter = field(default_factory=Counter)
+
+    def send(self, kind: MessageKind, count: int = 1) -> None:
+        """Record ``count`` messages of ``kind`` (traffic accounting only)."""
+        self._traffic[kind] += count
+
+    def hops(self, n: int) -> int:
+        """Latency of ``n`` sequential message hops on the critical path."""
+        return n * self.hop_latency
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self._traffic.values())
+
+    def messages(self, kind: MessageKind) -> int:
+        return self._traffic[kind]
+
+    def traffic_by_kind(self) -> dict[MessageKind, int]:
+        return dict(self._traffic)
+
+    def reset(self) -> None:
+        self._traffic.clear()

@@ -1,0 +1,19 @@
+"""Execution-trace substrate (paper Section 3.3, Figure 3)."""
+
+from repro.trace.records import BarrierRecord, MissKind, MissRecord, Trace
+from repro.trace.collector import TraceCollector
+from repro.trace.file_io import read_trace, write_trace
+from repro.trace.merge import merge_traces
+from repro.trace.stats import summarize
+
+__all__ = [
+    "BarrierRecord",
+    "MissKind",
+    "MissRecord",
+    "Trace",
+    "TraceCollector",
+    "read_trace",
+    "write_trace",
+    "merge_traces",
+    "summarize",
+]

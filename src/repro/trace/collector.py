@@ -1,0 +1,72 @@
+"""Trace collection (paper Section 3.3).
+
+During a trace run, WWT kept per-epoch miss information in a hash table and
+dumped it to the trace file at each synchronisation barrier, flushing every
+node's shared-data cache so the next epoch's first touches would miss again.
+:class:`TraceCollector` reproduces that: it is a machine
+:class:`~repro.machine.machine.RunListener`; pair it with
+``Machine(..., flush_at_barrier=True)``.
+
+As in the paper, at most one record is kept per (node, address, kind) per
+epoch — it is a hash table keyed by the access, not an ordered log — and
+within an epoch no ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import AccessResult
+from repro.mem.labels import LabelTable
+from repro.trace.records import BarrierRecord, LabelInfo, MissKind, MissRecord, Trace
+
+
+class TraceCollector:
+    def __init__(self, labels: LabelTable | None = None, block_size: int = 32,
+                 num_nodes: int = 0):
+        self._labels = labels
+        self.block_size = block_size
+        self.num_nodes = num_nodes
+        # Hash table of the current epoch: (node, addr, kind) -> pc of first miss.
+        self._epoch_table: dict[tuple[int, int, MissKind], int] = {}
+        self._current_epoch = 0
+        self._misses: list[MissRecord] = []
+        self._barriers: list[BarrierRecord] = []
+
+    # ---------------------------------------------------------- listener API
+    def on_access(
+        self, node: int, epoch: int, addr: int, pc: int, result: AccessResult
+    ) -> None:
+        kind = MissKind.from_access(result.kind)
+        self._current_epoch = epoch
+        self._epoch_table.setdefault((node, addr, kind), pc)
+
+    def on_barrier(self, epoch: int, vt: int, node_pcs: dict[int, int]) -> None:
+        self._dump_epoch(epoch)
+        for node, pc in sorted(node_pcs.items()):
+            self._barriers.append(
+                BarrierRecord(node=node, barrier_pc=pc, vt=vt, epoch=epoch)
+            )
+        self._current_epoch = epoch + 1
+
+    # ------------------------------------------------------------- finishing
+    def _dump_epoch(self, epoch: int) -> None:
+        for (node, addr, kind), pc in self._epoch_table.items():
+            self._misses.append(
+                MissRecord(kind=kind, addr=addr, pc=pc, node=node, epoch=epoch)
+            )
+        self._epoch_table.clear()
+
+    def finish(self) -> Trace:
+        """Flush the final (unterminated) epoch and build the Trace."""
+        self._dump_epoch(self._current_epoch)
+        labels = (
+            [LabelInfo.from_label(lab) for lab in self._labels]
+            if self._labels is not None
+            else []
+        )
+        return Trace(
+            misses=list(self._misses),
+            barriers=list(self._barriers),
+            labels=labels,
+            block_size=self.block_size,
+            num_nodes=self.num_nodes,
+        )

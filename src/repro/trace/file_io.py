@@ -1,0 +1,123 @@
+"""Trace file reader/writer.
+
+A simple line-oriented text format mirroring Figure 3 of the paper, with a
+header carrying machine geometry and the labelled-region table:
+
+.. code-block:: text
+
+    # cachier-trace v1
+    meta block_size 32
+    meta num_nodes 8
+    label A 268435456 512 8 C 8 8
+    miss read_miss 268435464 17 3 0
+    barrier 0 42 1234 0
+
+``miss`` fields: kind, addr, pc, node, epoch.
+``barrier`` fields: node, barrier_pc, vt, epoch.
+``label`` fields: name, base, nbytes, elem_size, order, shape...
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.trace.records import BarrierRecord, LabelInfo, MissKind, MissRecord, Trace
+
+_MAGIC = "# cachier-trace v1"
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    with open(path, "w", encoding="ascii") as fh:
+        _write(trace, fh)
+
+
+def trace_to_string(trace: Trace) -> str:
+    buf = io.StringIO()
+    _write(trace, buf)
+    return buf.getvalue()
+
+
+def _write(trace: Trace, fh) -> None:
+    fh.write(_MAGIC + "\n")
+    fh.write(f"meta block_size {trace.block_size}\n")
+    fh.write(f"meta num_nodes {trace.num_nodes}\n")
+    for lab in trace.labels:
+        shape = " ".join(str(n) for n in lab.shape)
+        fh.write(
+            f"label {lab.name} {lab.base} {lab.nbytes} {lab.elem_size} "
+            f"{lab.order} {shape}\n"
+        )
+    for rec in trace.misses:
+        fh.write(f"miss {rec.kind.value} {rec.addr} {rec.pc} {rec.node} {rec.epoch}\n")
+    for rec in trace.barriers:
+        fh.write(f"barrier {rec.node} {rec.barrier_pc} {rec.vt} {rec.epoch}\n")
+
+
+def read_trace(path: str | Path) -> Trace:
+    with open(path, "r", encoding="ascii") as fh:
+        return _read(fh)
+
+
+def trace_from_string(text: str) -> Trace:
+    return _read(io.StringIO(text))
+
+
+def _read(fh) -> Trace:
+    first = fh.readline().rstrip("\n")
+    if first != _MAGIC:
+        raise TraceError(f"bad trace header {first!r}")
+    trace = Trace()
+    for lineno, raw in enumerate(fh, start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        tag = parts[0]
+        try:
+            if tag == "meta":
+                if parts[1] == "block_size":
+                    trace.block_size = int(parts[2])
+                elif parts[1] == "num_nodes":
+                    trace.num_nodes = int(parts[2])
+                else:
+                    raise TraceError(f"line {lineno}: unknown meta {parts[1]!r}")
+            elif tag == "label":
+                name, base, nbytes, elem_size, order = parts[1:6]
+                shape = tuple(int(x) for x in parts[6:])
+                if not shape:
+                    raise TraceError(f"line {lineno}: label without shape")
+                trace.labels.append(
+                    LabelInfo(
+                        name=name,
+                        base=int(base),
+                        nbytes=int(nbytes),
+                        elem_size=int(elem_size),
+                        order=order,
+                        shape=shape,
+                    )
+                )
+            elif tag == "miss":
+                kind, addr, pc, node, epoch = parts[1:6]
+                trace.misses.append(
+                    MissRecord(
+                        kind=MissKind(kind),
+                        addr=int(addr),
+                        pc=int(pc),
+                        node=int(node),
+                        epoch=int(epoch),
+                    )
+                )
+            elif tag == "barrier":
+                node, pc, vt, epoch = parts[1:5]
+                trace.barriers.append(
+                    BarrierRecord(
+                        node=int(node), barrier_pc=int(pc), vt=int(vt), epoch=int(epoch)
+                    )
+                )
+            else:
+                raise TraceError(f"line {lineno}: unknown record {tag!r}")
+        except (ValueError, IndexError) as exc:
+            raise TraceError(f"line {lineno}: malformed record {line!r}") from exc
+    return trace

@@ -1,0 +1,149 @@
+"""Trace statistics: the sharing-degree analysis behind Section 6.
+
+The paper explains its Figure 6 spread through each benchmark's *degree of
+sharing* ("In Ocean, 88% of loads read shared data... whereas in Barnes
+25.5% of the loads are shared data reads").  Those numbers come from traces;
+this module computes the trace-visible analogue for ours:
+
+* per-kind miss counts, overall and per epoch,
+* per-array miss attribution (which data structure communicates),
+* block sharing degree: how many distinct processors touch each block over
+  the whole run, and what fraction of misses land on blocks that more than
+  one processor touches (actively shared data),
+* writer diversity: blocks written by 2+ processors (the race-prone set).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.trace.records import MissKind, Trace
+
+
+@dataclass
+class ArrayStats:
+    name: str
+    read_misses: int = 0
+    write_misses: int = 0
+    write_faults: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.read_misses + self.write_misses + self.write_faults
+
+
+@dataclass
+class TraceSummary:
+    num_epochs: int
+    num_nodes: int
+    miss_counts: Counter = field(default_factory=Counter)
+    per_epoch: dict[int, Counter] = field(default_factory=dict)
+    per_array: dict[str, ArrayStats] = field(default_factory=dict)
+    #: block -> number of distinct processors that missed on it
+    block_sharers: dict[int, int] = field(default_factory=dict)
+    #: fraction of miss records landing on multi-processor blocks
+    shared_miss_fraction: float = 0.0
+    #: fraction of blocks written by >= 2 processors
+    multi_writer_fraction: float = 0.0
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.miss_counts.values())
+
+    def sharing_degree_histogram(self) -> Counter:
+        """sharer count -> number of blocks."""
+        return Counter(self.block_sharers.values())
+
+    def render(self) -> str:
+        from repro.harness.reporting import render_table
+
+        lines = [
+            f"trace: {self.total_misses} miss records, "
+            f"{self.num_epochs} epochs, {self.num_nodes} processors",
+            f"  read misses: {self.miss_counts[MissKind.READ_MISS]}   "
+            f"write misses: {self.miss_counts[MissKind.WRITE_MISS]}   "
+            f"write faults: {self.miss_counts[MissKind.WRITE_FAULT]}",
+            f"  misses on actively-shared blocks: "
+            f"{self.shared_miss_fraction:.1%}",
+            f"  blocks with multiple writers: "
+            f"{self.multi_writer_fraction:.1%}",
+        ]
+        if self.per_array:
+            rows = [
+                [s.name, s.read_misses, s.write_misses, s.write_faults,
+                 s.total]
+                for s in sorted(self.per_array.values(),
+                                key=lambda s: -s.total)
+            ]
+            lines.append(render_table(
+                ["array", "rm", "wm", "wf", "total"], rows,
+                title="per-array miss attribution",
+            ).rstrip())
+        return "\n".join(lines) + "\n"
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    summary = TraceSummary(
+        num_epochs=trace.num_epochs(), num_nodes=trace.num_nodes
+    )
+    labels = trace.label_table() if trace.labels else None
+    bs = trace.block_size
+    block_nodes: dict[int, set[int]] = defaultdict(set)
+    block_writers: dict[int, set[int]] = defaultdict(set)
+    for rec in trace.misses:
+        summary.miss_counts[rec.kind] += 1
+        summary.per_epoch.setdefault(rec.epoch, Counter())[rec.kind] += 1
+        block = rec.addr // bs
+        block_nodes[block].add(rec.node)
+        if rec.kind is not MissKind.READ_MISS:
+            block_writers[block].add(rec.node)
+        if labels is not None:
+            found = labels.find(rec.addr)
+            name = found.name if found else "<unlabelled>"
+            stats = summary.per_array.setdefault(name, ArrayStats(name=name))
+            if rec.kind is MissKind.READ_MISS:
+                stats.read_misses += 1
+            elif rec.kind is MissKind.WRITE_MISS:
+                stats.write_misses += 1
+            else:
+                stats.write_faults += 1
+    summary.block_sharers = {b: len(ns) for b, ns in block_nodes.items()}
+    if trace.misses:
+        shared_blocks = {b for b, ns in block_nodes.items() if len(ns) >= 2}
+        on_shared = sum(
+            1 for rec in trace.misses if rec.addr // bs in shared_blocks
+        )
+        summary.shared_miss_fraction = on_shared / len(trace.misses)
+    if block_writers:
+        multi = sum(1 for ns in block_writers.values() if len(ns) >= 2)
+        summary.multi_writer_fraction = multi / len(block_nodes)
+    return summary
+
+
+def main(argv=None) -> int:
+    """``python -m repro.trace.stats``: summarize a workload's trace or a
+    saved trace file."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", help="trace a built-in workload")
+    group.add_argument("--file", help="read a saved trace file")
+    args = parser.parse_args(argv)
+    if args.file:
+        from repro.trace.file_io import read_trace
+
+        trace = read_trace(args.file)
+    else:
+        from repro.harness.runner import trace_program
+        from repro.workloads.base import get_workload
+
+        spec = get_workload(args.workload)
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+    print(summarize(trace).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

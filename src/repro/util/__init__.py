@@ -1,0 +1,6 @@
+"""Small generic utilities shared across the library."""
+
+from repro.util.intervals import IntervalSet, as_progression
+from repro.util.rng import make_rng
+
+__all__ = ["IntervalSet", "as_progression", "make_rng"]

@@ -1,0 +1,23 @@
+"""Benchmark programs (Section 6) and exposition examples (Sections 2/4/5).
+
+Every workload is an IR program plus its per-node SPMD parameter
+environment, packaged as a :class:`~repro.workloads.base.WorkloadSpec`.
+The five Figure 6 benchmarks:
+
+* :mod:`repro.workloads.matmul` — blocked matrix multiply,
+* :mod:`repro.workloads.barnes` — Barnes-Hut N-body (index-indirect, dynamic),
+* :mod:`repro.workloads.ocean` — red-black Gauss-Seidel SOR (high sharing),
+* :mod:`repro.workloads.mp3d` — rarefied-flow particle simulation (races),
+* :mod:`repro.workloads.tomcatv` — mesh generation (compute-bound).
+
+Exposition programs:
+
+* :mod:`repro.workloads.jacobi` — the Section 2.1 CICO cost-model example,
+* :mod:`repro.workloads.matmul_racing` — the Section 4.4 unconventional
+  multiply with the data race on C,
+* :mod:`repro.workloads.matmul_restructured` — its Section 5 restructuring.
+"""
+
+from repro.workloads.base import WorkloadSpec, registry, get_workload
+
+__all__ = ["WorkloadSpec", "registry", "get_workload"]

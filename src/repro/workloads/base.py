@@ -1,0 +1,81 @@
+"""Workload packaging.
+
+A workload bundles the unannotated program, optional hand-annotated variants
+(with the characteristic flaws Section 6 reports for each benchmark), the
+per-node parameter environment, and a machine configuration scaled so the
+benchmark exercises the same cache-pressure regime as the paper's runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.machine.config import MachineConfig
+
+ParamsFn = Callable[[int], dict]
+
+
+@dataclass
+class WorkloadSpec:
+    name: str
+    program: Program  # unannotated
+    params_fn: ParamsFn
+    config: MachineConfig
+    hand_program: Program | None = None
+    hand_prefetch_program: Program | None = None
+    #: cache size the *annotator* assumes (its capacity model), usually the
+    #: machine's; exposition examples shrink it to force near placement.
+    annotator_cache_size: int | None = None
+    #: scale parameters, for reporting
+    data: dict = field(default_factory=dict)
+    #: degree of sharing notes (Sec. 6 discussion)
+    notes: str = ""
+
+    @property
+    def cachier_cache_size(self) -> int:
+        return self.annotator_cache_size or self.config.cache_size
+
+
+_REGISTRY: dict[str, Callable[..., WorkloadSpec]] = {}
+
+
+def registry() -> dict[str, Callable[..., WorkloadSpec]]:
+    if not _REGISTRY:
+        from repro.workloads import (
+            barnes,
+            fft,
+            jacobi,
+            matmul,
+            matmul_racing,
+            matmul_restructured,
+            mp3d,
+            tomcatv,
+            ocean,
+        )
+
+        _REGISTRY.update(
+            {
+                "matmul": matmul.make,
+                "barnes": barnes.make,
+                "ocean": ocean.make,
+                "mp3d": mp3d.make,
+                "tomcatv": tomcatv.make,
+                "jacobi": jacobi.make,
+                "matmul_racing": matmul_racing.make,
+                "matmul_restructured": matmul_restructured.make,
+                "fft": fft.make,
+            }
+        )
+    return dict(_REGISTRY)
+
+
+def get_workload(name: str, **kwargs) -> WorkloadSpec:
+    reg = registry()
+    if name not in reg:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(reg)}"
+        )
+    return reg[name](**kwargs)

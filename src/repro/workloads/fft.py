@@ -1,0 +1,108 @@
+"""FFT transpose — an extension workload beyond the paper's suite.
+
+The SPLASH-2 FFT (published the year after Cachier) is dominated by its
+matrix transpose: an all-to-all exchange in which every processor reads one
+block from every other processor's partition.  It became the canonical
+"producer check-in" benchmark for cooperative shared memory, so it is the
+natural sixth workload to demonstrate that Cachier generalizes beyond the
+five programs the paper evaluated.
+
+Structure (rows block-partitioned; one epoch per phase per step):
+
+* **twiddle** — each node does a radix-style local pass over its rows of
+  ``DATA`` (read-modify-write of owned data, heavy arithmetic);
+* **transpose** — each node computes its rows of ``TR`` by reading a column
+  of ``DATA``: one element from *every* other node's freshly-written rows —
+  the all-to-all;
+* **second pass** — local pass over the owned rows of ``TR`` and a
+  checksum.
+
+Without annotations every transpose read is a 4-hop recall from the
+producer's cache and every second-pass write upgrades a read-shared block;
+Cachier's check-ins after the twiddle phase and ``check_out_X`` before the
+second pass remove both.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.workloads.base import WorkloadSpec
+
+
+def build_program(n: int, steps: int, seed: int = 1) -> Program:
+    b = ProgramBuilder(f"fft{n}")
+    DATA = b.shared("DATA", (n, n))
+    TR = b.shared("TR", (n, n))
+    SUM = b.shared("SUM", (64,))
+    me = b.param("me")
+    Lrp, Urp = b.param("Lrp"), b.param("Urp")
+    N1 = n - 1
+
+    with b.function("main"):
+        # Epoch 0: distributed initialization (every node seeds its rows).
+        with b.for_("i", Lrp, Urp) as i:
+            with b.for_("j", 0, N1) as j:
+                b.set(DATA[i, j], (i * 5 + j * 3 + seed) % 17 - 8)
+        b.barrier("initialised")
+
+        with b.for_("t", 1, steps) as t:
+            # ---- twiddle: local radix pass over owned rows ----------------
+            with b.for_("i", Lrp, Urp) as i:
+                with b.for_("j", 0, N1) as j:
+                    b.let("w", (i * j + t) % 7 - 3)
+                    b.set(
+                        DATA[i, j],
+                        DATA[i, j] * 0.5 + b.var("w") * 0.25
+                        + DATA[i, (j + 1) % n] * 0.125,
+                    )
+            b.barrier("twiddled")
+
+            # ---- transpose: all-to-all column gather -----------------------
+            with b.for_("i", Lrp, Urp) as i:
+                with b.for_("j", 0, N1) as j:
+                    b.set(TR[i, j], DATA[j, i])
+            b.barrier("transposed")
+
+            # ---- second pass over the transposed rows ----------------------
+            b.let("acc", 0)
+            with b.for_("i", Lrp, Urp) as i:
+                with b.for_("j", 0, N1) as j:
+                    b.set(TR[i, j], TR[i, j] * 0.5)
+                    b.let("acc", b.var("acc") + TR[i, j])
+            b.set(SUM[me], b.var("acc"))
+            b.barrier("checked")
+    return b.build()
+
+
+def params_for(n: int, num_nodes: int):
+    rows = n // num_nodes
+
+    def fn(node: int) -> dict:
+        return {"N": n, "Lrp": node * rows, "Urp": node * rows + rows - 1}
+
+    return fn
+
+
+def make(
+    n: int = 32,
+    steps: int = 2,
+    num_nodes: int = 8,
+    seed: int = 1,
+    cache_size: int = 8192,
+) -> WorkloadSpec:
+    if n % num_nodes:
+        raise WorkloadError(f"matrix size {n} not divisible by {num_nodes}")
+    config = MachineConfig(
+        num_nodes=num_nodes, cache_size=cache_size, block_size=32, assoc=4
+    )
+    return WorkloadSpec(
+        name="fft",
+        program=build_program(n, steps, seed=seed),
+        params_fn=params_for(n, num_nodes),
+        config=config,
+        data={"n": n, "steps": steps, "seed": seed},
+        notes="extension workload (not in the paper): all-to-all transpose",
+    )

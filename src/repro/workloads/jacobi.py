@@ -1,0 +1,189 @@
+"""Jacobi relaxation — the Section 2.1 CICO cost-model example (E2).
+
+An N x N matrix U (stored **column-major**, as the paper's block-count
+arithmetic assumes) relaxed for T time steps by P^2 processors, each owning
+an (N/P) x (N/P) block.  Each step a processor copies its four neighbour
+boundary rows/columns into private arrays and then relaxes its block in
+place — one epoch per time step, exactly the paper's program structure.
+Neighbours wrap around (torus) so every processor has four boundaries,
+matching the paper's uniform block counts.
+
+Three variants:
+
+* ``plain`` — unannotated;
+* ``cico_fits`` — the paper's first annotation listing (each processor's
+  block fits in its cache): ``check_out_X`` of the whole block once before
+  the time loop, ``check_out_S``/``check_in`` of the boundaries every step,
+  ``check_in`` of the block at the end.  Total blocks checked out over T
+  steps: ``2NPT(1+b)/b + N^2/b``.
+* ``cico_column`` — the second listing (only individual columns fit):
+  boundaries as above, plus per-column ``check_out_X``/``check_in`` inside
+  the sweep.  Total: ``(2NP(1+b)/b + N^2/b) * T``.
+
+The simulated ``checkouts`` counter must equal those closed forms — that is
+the E2 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.workloads.base import WorkloadSpec
+
+
+def _grid(num_nodes: int) -> int:
+    side = int(math.isqrt(num_nodes))
+    if side * side != num_nodes:
+        raise WorkloadError(f"jacobi needs a square processor count, got {num_nodes}")
+    return side
+
+
+def build_program(n: int, steps: int, variant: str = "plain") -> Program:
+    if variant not in ("plain", "cico_fits", "cico_column"):
+        raise WorkloadError(f"unknown jacobi variant {variant!r}")
+    b = ProgramBuilder(f"jacobi{n}_{variant}")
+    U = b.shared("U", (n, n), order="F")
+    me = b.param("me")
+    N = b.param("N")
+    Lip, Uip = b.param("Lip"), b.param("Uip")
+    Ljp, Ujp = b.param("Ljp"), b.param("Ujp")
+    W = b.param("W")  # block width N/P
+    west = b.private("westp", (n,))
+    east = b.private("eastp", (n,))
+    north = b.private("northp", (n,))
+    south = b.private("southp", (n,))
+
+    # Torus neighbours of the block boundary.
+    west_col = (Ljp - 1 + N) % N
+    east_col = (Ujp + 1) % N
+    north_row = (Lip - 1 + N) % N
+    south_row = (Uip + 1) % N
+
+    with b.function("main"):
+        # Epoch 0: processor 0 seeds the matrix.
+        with b.if_(me.eq(0)):
+            with b.for_("i", 0, n - 1) as i:
+                with b.for_("j", 0, n - 1) as j:
+                    b.set(U[i, j], (i * 3 + j * 5) % 7)
+        b.barrier("seeded")
+
+        if variant == "cico_fits":
+            b.check_out_x(b.target(U, b.range(Lip, Uip), b.range(Ljp, Ujp)))
+        with b.for_("t", 1, b.param("T")) as t:
+            if variant != "plain":
+                b.check_out_s(b.target(U, b.range(Lip, Uip), west_col))
+                b.check_out_s(b.target(U, b.range(Lip, Uip), east_col))
+                b.check_out_s(b.target(U, north_row, b.range(Ljp, Ujp)))
+                b.check_out_s(b.target(U, south_row, b.range(Ljp, Ujp)))
+            # Copy boundary rows & columns to local arrays.
+            with b.for_("i", Lip, Uip) as i:
+                b.set(west[i], U[i, west_col])
+                b.set(east[i], U[i, east_col])
+            with b.for_("j", Ljp, Ujp) as j:
+                b.set(north[j], U[north_row, j])
+                b.set(south[j], U[south_row, j])
+            if variant != "plain":
+                b.check_in(b.target(U, b.range(Lip, Uip), west_col))
+                b.check_in(b.target(U, b.range(Lip, Uip), east_col))
+                b.check_in(b.target(U, north_row, b.range(Ljp, Ujp)))
+                b.check_in(b.target(U, south_row, b.range(Ljp, Ujp)))
+            # Relax the block in place, column by column.
+            with b.for_("j", Ljp, Ujp) as j:
+                if variant == "cico_column":
+                    b.check_out_x(b.target(U, b.range(Lip, Uip), j))
+                with b.for_("i", Lip, Uip) as i:
+                    b.let("up", 0)
+                    b.let("down", 0)
+                    b.let("left", 0)
+                    b.let("right", 0)
+                    with b.if_(i.eq(Lip)):
+                        b.let("up", north[j])
+                    with b.else_():
+                        b.let("up", U[i - 1, j])
+                    with b.if_(i.eq(Uip)):
+                        b.let("down", south[j])
+                    with b.else_():
+                        b.let("down", U[i + 1, j])
+                    with b.if_(j.eq(Ljp)):
+                        b.let("left", west[i])
+                    with b.else_():
+                        b.let("left", U[i, j - 1])
+                    with b.if_(j.eq(Ujp)):
+                        b.let("right", east[i])
+                    with b.else_():
+                        b.let("right", U[i, j + 1])
+                    b.set(
+                        U[i, j],
+                        0.25 * (b.var("up") + b.var("down")
+                                + b.var("left") + b.var("right")),
+                    )
+                if variant == "cico_column":
+                    b.check_in(b.target(U, b.range(Lip, Uip), j))
+            b.barrier("step")
+        if variant == "cico_fits":
+            b.check_in(b.target(U, b.range(Lip, Uip), b.range(Ljp, Ujp)))
+    return b.build()
+
+
+def params_for(n: int, steps: int, num_nodes: int):
+    side = _grid(num_nodes)
+    width = n // side
+
+    def fn(node: int) -> dict:
+        bi, bj = divmod(node, side)
+        return {
+            "N": n,
+            "T": steps,
+            "W": width,
+            "Lip": bi * width,
+            "Uip": bi * width + width - 1,
+            "Ljp": bj * width,
+            "Ujp": bj * width + width - 1,
+        }
+
+    return fn
+
+
+def make(
+    n: int = 16,
+    steps: int = 4,
+    num_nodes: int = 16,
+    cache_size: int = 4096,
+    variant: str = "plain",
+) -> WorkloadSpec:
+    side = _grid(num_nodes)
+    if n % side:
+        raise WorkloadError(f"N={n} not divisible by grid side {side}")
+    config = MachineConfig(
+        num_nodes=num_nodes, cache_size=cache_size, block_size=32, assoc=4
+    )
+    return WorkloadSpec(
+        name="jacobi",
+        program=build_program(n, steps, variant),
+        params_fn=params_for(n, steps, num_nodes),
+        config=config,
+        data={"n": n, "steps": steps, "variant": variant},
+        notes="Section 2.1 cost-model example; column-major U",
+    )
+
+
+# ----------------------------------------------------------- analytic checks
+def expected_checkouts(variant: str, n: int, steps: int, num_nodes: int,
+                       block_size: int = 32, elem_size: int = 8) -> float:
+    """Closed-form total check-out count from Section 2.1."""
+    from repro.cico.cost_model import (
+        jacobi_checkouts_cache_fits,
+        jacobi_checkouts_column_fits,
+    )
+
+    side = _grid(num_nodes)
+    b_elems = block_size // elem_size
+    if variant == "cico_fits":
+        return jacobi_checkouts_cache_fits(n, side, b_elems, steps)
+    if variant == "cico_column":
+        return jacobi_checkouts_column_fits(n, side, b_elems, steps)
+    raise WorkloadError(f"no closed form for variant {variant!r}")

@@ -1,0 +1,166 @@
+"""Blocked matrix multiply — the Figure 6 "Matrix Multiply" benchmark.
+
+Section 6: *"Matrix Multiply multiplies two matrices by dividing them into
+blocks... one processor initializes the matrices with random values.  Part
+of the improvement arises from checking-in these matrices after
+initialization.  Also, the result matrix is read-write shared by the
+processors, so checking-out the required matrix elements exclusive
+eliminates upgrades of shared blocks to be writable.  In addition, checking
+in the result values after a processor computes them reduces the number of
+invalidation messages."*
+
+Structure (P^2 processors in a sqrt x sqrt grid, each owning a block of C):
+
+* epoch 0 — processor 0 initializes A, B (seed-dependent values) and C;
+* epoch 1 — every processor computes its C block: C[i,j] += A[i,k]*B[k,j];
+  the ``+=`` reads C before writing it, which is the read-then-write upgrade
+  pattern ``check_out_X`` eliminates;
+* epoch 2 — every processor folds the *transposed* block of C (the block
+  its mirror processor just produced) into a per-processor checksum, then
+  processor 0 combines the checksums.  Consuming another processor's output
+  is where the compute-epoch check-ins of C pay off: without them every
+  read is a 4-hop recall from the producer's cache.
+
+The hand-annotated variant reproduces the flaw the paper reports for this
+benchmark: *"a few unnecessary annotations"* — redundant ``check_out_S`` on
+blocks Dir1SW would implicitly check out anyway, costing issue overhead.
+The hand prefetch variant places its prefetches "inappropriately": it
+prefetches the *current* iteration's data immediately before use, gaining no
+overlap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.workloads.base import WorkloadSpec
+
+
+def _grid(num_nodes: int) -> int:
+    side = int(math.isqrt(num_nodes))
+    if side * side != num_nodes:
+        raise WorkloadError(f"matmul needs a square processor count, got {num_nodes}")
+    return side
+
+
+def build_program(
+    n: int, seed: int = 1, hand: str = "none"
+) -> Program:
+    """``hand``: 'none' (unannotated), 'hand' (flawed CICO), or
+    'hand_prefetch' (flawed CICO + misplaced prefetch)."""
+    b = ProgramBuilder(f"matmul{n}")
+    A = b.shared("A", (n, n))
+    B = b.shared("B", (n, n))
+    C = b.shared("C", (n, n))
+    SUM = b.shared("SUM", (64,))
+    TOTAL = b.shared("TOTAL", (1,))
+    me = b.param("me")
+    P = b.param("P")
+    Lip, Uip = b.param("Lip"), b.param("Uip")
+    Ljp, Ujp = b.param("Ljp"), b.param("Ujp")
+    N1 = n - 1
+    annotated = hand in ("hand", "hand_prefetch")
+
+    with b.function("main"):
+        # ---- epoch 0: one processor initializes with seed-derived values --
+        with b.if_(me.eq(0)):
+            with b.for_("i", 0, N1) as i:
+                with b.for_("j", 0, N1) as j:
+                    b.set(A[i, j], (i * 7 + j * 3 + seed) % 11)
+                    b.set(B[i, j], (i * 5 + j * 2 + seed) % 13)
+                    b.set(C[i, j], 0)
+                if annotated:
+                    # Hand version checks the rows in after initialization
+                    # (the good idea) ...
+                    b.check_in(b.target(A, i, b.range(0, N1)))
+                    b.check_in(b.target(B, i, b.range(0, N1)))
+                    b.check_in(b.target(C, i, b.range(0, N1)))
+        b.barrier("init_done")
+
+        # ---- epoch 1: blocked compute ------------------------------------
+        with b.for_("i", Lip, Uip) as i:
+            if annotated:
+                # ... and checks its C row-block out exclusive before the
+                # read-modify-write (also good) ...
+                b.check_out_x(b.target(C, i, b.range(Ljp, Ujp)))
+            with b.for_("k", 0, N1) as k:
+                if annotated:
+                    # ... but ALSO redundantly checks out blocks Dir1SW
+                    # fetches implicitly ("a few unnecessary annotations").
+                    b.check_out_s(A[i, k])
+                    b.check_out_s(b.target(B, k, b.range(Ljp, Ujp)))
+                if hand == "hand_prefetch":
+                    # Misplaced prefetch: same-iteration data, no overlap.
+                    b.prefetch_s(b.target(B, k, b.range(Ljp, Ujp)))
+                b.let("t", A[i, k])
+                with b.for_("j", Ljp, Ujp) as j:
+                    b.set(C[i, j], C[i, j] + b.var("t") * B[k, j])
+            if annotated:
+                b.check_in(b.target(C, i, b.range(Ljp, Ujp)))
+        b.barrier("compute_done")
+
+        # ---- epoch 2: every processor folds its mirror's C block ----------
+        # The transposed block C[Ljp:Ujp, Lip:Uip] was produced by the
+        # mirror processor, so these reads consume freshly-written remote
+        # data — recalls without check-ins, plain memory misses with them.
+        b.let("acc", 0)
+        with b.for_("i", Ljp, Ujp) as i:
+            with b.for_("j", Lip, Uip) as j:
+                b.let("acc", b.var("acc") + C[i, j])
+        b.set(SUM[me], b.var("acc"))
+        b.barrier("folded")
+
+        # ---- epoch 3: processor 0 combines the per-processor checksums ----
+        with b.if_(me.eq(0)):
+            b.let("total", 0)
+            with b.for_("k", 0, 63) as k:
+                with b.if_(k < P):
+                    b.let("total", b.var("total") + SUM[k])
+            b.set(TOTAL[0], b.var("total"))
+    return b.build()
+
+
+def params_for(n: int, num_nodes: int):
+    side = _grid(num_nodes)
+    width = n // side
+
+    def fn(node: int) -> dict:
+        bi, bj = divmod(node, side)
+        return {
+            "N": n,
+            "P": num_nodes,
+            "Lip": bi * width,
+            "Uip": bi * width + width - 1,
+            "Ljp": bj * width,
+            "Ujp": bj * width + width - 1,
+        }
+
+    return fn
+
+
+def make(
+    n: int = 32,
+    num_nodes: int = 16,
+    seed: int = 1,
+    cache_size: int = 32768,
+) -> WorkloadSpec:
+    side = _grid(num_nodes)
+    if n % side:
+        raise WorkloadError(f"matrix size {n} not divisible by grid side {side}")
+    config = MachineConfig(
+        num_nodes=num_nodes, cache_size=cache_size, block_size=32, assoc=4
+    )
+    return WorkloadSpec(
+        name="matmul",
+        program=build_program(n, seed=seed),
+        hand_program=build_program(n, seed=seed, hand="hand"),
+        hand_prefetch_program=build_program(n, seed=seed, hand="hand_prefetch"),
+        params_fn=params_for(n, num_nodes),
+        config=config,
+        data={"n": n, "seed": seed},
+        notes="read-write shared C; one-node initialization",
+    )

@@ -1,0 +1,110 @@
+"""The Section 4.4 "unconventional" matrix multiply (exposition workload).
+
+Every processor owns a block of B (rows Lkp:Ukp x columns Ljp:Ujp) and walks
+*all* rows of A, accumulating partial products directly into the shared
+result matrix::
+
+    for i = 1 to N do
+        for k = Lkp to Ukp do
+            t = A[i, k]
+            for j = Ljp to Ujp do
+                C[i, j] = C[i, j] + t * B[k, j]
+
+Processors that share a column block of C (same j-range, different k-range)
+race on every C element — the data race Cachier flags with
+``/*** Data Race on C[i, j] ***/`` and annotates with immediate
+check-out/check-in pairs.  Section 5 counts the result: N^3 check-outs of C
+elements across the machine, all racing — the communication bottleneck the
+restructured version (:mod:`repro.workloads.matmul_restructured`) removes.
+
+Because of the race, the computed C can be *wrong* (lost updates) — the
+paper says exactly this, and the functional tests assert the restructured
+version is correct while this one need not be.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.workloads.base import WorkloadSpec
+
+
+def _grid(num_nodes: int) -> int:
+    side = int(math.isqrt(num_nodes))
+    if side * side != num_nodes:
+        raise WorkloadError(f"needs a square processor count, got {num_nodes}")
+    return side
+
+
+def build_program(n: int, seed: int = 1) -> Program:
+    b = ProgramBuilder(f"matmul_racing{n}")
+    A = b.shared("A", (n, n))
+    B = b.shared("B", (n, n))
+    C = b.shared("C", (n, n))
+    me = b.param("me")
+    Lkp, Ukp = b.param("Lkp"), b.param("Ukp")
+    Ljp, Ujp = b.param("Ljp"), b.param("Ujp")
+    N1 = n - 1
+
+    with b.function("main"):
+        with b.if_(me.eq(0)):
+            with b.for_("i", 0, N1) as i:
+                with b.for_("j", 0, N1) as j:
+                    b.set(A[i, j], (i * 7 + j * 3 + seed) % 11)
+                    b.set(B[i, j], (i * 5 + j * 2 + seed) % 13)
+                    b.set(C[i, j], 0)
+        b.barrier("init_done")
+        with b.for_("i", 0, N1) as i:
+            with b.for_("k", Lkp, Ukp) as k:
+                b.let("t", A[i, k])
+                with b.for_("j", Ljp, Ujp) as j:
+                    b.set(C[i, j], C[i, j] + b.var("t") * B[k, j])
+    return b.build()
+
+
+def params_for(n: int, num_nodes: int):
+    side = _grid(num_nodes)
+    width = n // side
+
+    def fn(node: int) -> dict:
+        bk, bj = divmod(node, side)
+        return {
+            "N": n,
+            "Lkp": bk * width,
+            "Ukp": bk * width + width - 1,
+            "Ljp": bj * width,
+            "Ujp": bj * width + width - 1,
+        }
+
+    return fn
+
+
+def make(
+    n: int = 8,
+    num_nodes: int = 4,
+    seed: int = 1,
+    cache_size: int = 1024,
+    annotator_cache_size: int = 128,
+) -> WorkloadSpec:
+    side = _grid(num_nodes)
+    if n % side:
+        raise WorkloadError(f"matrix size {n} not divisible by grid side {side}")
+    config = MachineConfig(
+        num_nodes=num_nodes, cache_size=cache_size, block_size=32, assoc=2
+    )
+    return WorkloadSpec(
+        name="matmul_racing",
+        program=build_program(n, seed=seed),
+        params_fn=params_for(n, num_nodes),
+        config=config,
+        # The paper's regime: the matrix does not fit, rows do — a small
+        # annotator capacity forces the near-reference placement the
+        # Section 4.4 listings show.
+        annotator_cache_size=annotator_cache_size,
+        data={"n": n, "seed": seed},
+        notes="Section 4.4 exposition example; data race on C",
+    )

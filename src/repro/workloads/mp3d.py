@@ -1,0 +1,148 @@
+"""Mp3d — rarefied fluid flow, the race-heavy dynamic benchmark.
+
+Section 6: *"Mp3d simulates rarefied fluid flow of idealized diatomic
+molecules in a three-dimensional active space... the Cachier annotated
+version outperforms the unannotated version by 25% and the hand-annotated
+version by 45%."*  Mp3d has very high write sharing (80% of stores) and a
+*dynamic* memory access pattern: which space cell a molecule hits depends on
+the input data, so static analysis alone cannot place annotations — the
+paper's motivating case for trace-driven insertion.
+
+Model: ``NP`` molecules, statically partitioned across processors, move
+through ``NC`` space cells.  Each time step (one epoch per phase):
+
+* **move** — every processor, for each of its molecules: read its position,
+  read a seed-derived velocity table, compute the destination cell, write
+  the position back, and accumulate into the destination cell's counters —
+  a read-modify-write of a *scattered, contended* shared location (the data
+  races Cachier flags);
+* **collide** — every processor sweeps a slice of the cell array and decays
+  the accumulators (read-modify-write of its slice).
+
+Cachier's wins here: ``check_out_X`` before each cell update (the upgrade
+would otherwise often trap — many processors hold cell blocks shared), and
+``check_in`` right after (the cell will almost surely be claimed by another
+processor before this one touches it again).
+
+The hand-annotated variant reproduces the reported flaws: it checks cell
+blocks in **too early** (between the read and the write, forcing a second
+full acquisition per update) and **neglects** to check-in the position
+array after the move phase.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.workloads.base import WorkloadSpec
+
+
+def build_program(
+    nparticles: int,
+    ncells: int,
+    steps: int,
+    num_nodes: int,
+    seed: int = 1,
+    hand: bool = False,
+) -> Program:
+    b = ProgramBuilder(f"mp3d{nparticles}" + ("_hand" if hand else ""))
+    POS = b.shared("POS", (nparticles,))  # current cell of each molecule
+    CELL = b.shared("CELL", (ncells,))  # per-cell accumulator (contended)
+    VEL = b.shared("VEL", (nparticles,))  # seed-derived velocities (read-only)
+    me = b.param("me")
+    Lmp, Ump = b.param("Lmp"), b.param("Ump")  # owned molecule range
+    Lcp, Ucp = b.param("Lcp"), b.param("Ucp")  # owned cell slice
+    NC = b.param("NC")
+
+    with b.function("main"):
+        # ---- epoch 0: processor 0 loads the initial state ------------------
+        with b.if_(me.eq(0)):
+            with b.for_("p", 0, nparticles - 1) as p:
+                b.set(POS[p], (p * 17 + seed * 29) % ncells)
+                b.set(VEL[p], (p * 13 + seed * 7) % 31 + 1)
+            with b.for_("c", 0, ncells - 1) as c:
+                b.set(CELL[c], 0)
+        b.barrier("loaded")
+
+        with b.for_("t", 1, steps) as t:
+            # ---- move phase ------------------------------------------------
+            with b.for_("p", Lmp, Ump) as p:
+                b.let("cell", POS[p])
+                b.let("v", VEL[p])
+                b.let("dest", (b.var("cell") + b.var("v") * t) % NC)
+                b.set(POS[p], b.var("dest"))
+                if hand:
+                    b.check_out_x(CELL[b.var("dest")])
+                    # FLAW 1: checked in between the read and the write —
+                    # the write below must re-acquire the block exclusively.
+                    b.let("occ", CELL[b.var("dest")])
+                    b.check_in(CELL[b.var("dest")])
+                    b.set(CELL[b.var("dest")], b.var("occ") + b.var("v"))
+                else:
+                    b.set(CELL[b.var("dest")], CELL[b.var("dest")] + b.var("v"))
+            # FLAW 2: the hand version neglects to check POS or the updated
+            # cells back in after the move phase, so the collide phase pays
+            # recalls for every cell block a mover still holds.
+            b.barrier("moved")
+
+            # ---- collide phase ----------------------------------------------
+            with b.for_("c", Lcp, Ucp) as c:
+                if hand:
+                    # FLAW 1 again, per element this time: the block holding
+                    # CELL[c] is flushed after every read and re-acquired by
+                    # the very next write ("checking-in cache blocks too
+                    # early, i.e. before a processor finished with the
+                    # block").
+                    b.check_out_x(CELL[c])
+                    b.let("occ", CELL[c])
+                    b.check_in(CELL[c])
+                    b.set(CELL[c], b.var("occ") - 0.5 * b.var("occ"))
+                else:
+                    b.set(CELL[c], CELL[c] - 0.5 * CELL[c])
+            b.barrier("collided")
+    return b.build()
+
+
+def params_for(nparticles: int, ncells: int, num_nodes: int):
+    per = nparticles // num_nodes
+    cper = ncells // num_nodes
+
+    def fn(node: int) -> dict:
+        return {
+            "NC": ncells,
+            "Lmp": node * per,
+            "Ump": node * per + per - 1,
+            "Lcp": node * cper,
+            "Ucp": node * cper + cper - 1,
+        }
+
+    return fn
+
+
+def make(
+    nparticles: int = 256,
+    ncells: int = 128,
+    steps: int = 3,
+    num_nodes: int = 8,
+    seed: int = 1,
+    cache_size: int = 4096,
+) -> WorkloadSpec:
+    if nparticles % num_nodes or ncells % num_nodes:
+        raise WorkloadError("particles and cells must divide evenly")
+    config = MachineConfig(
+        num_nodes=num_nodes, cache_size=cache_size, block_size=32, assoc=4
+    )
+    return WorkloadSpec(
+        name="mp3d",
+        program=build_program(nparticles, ncells, steps, num_nodes, seed=seed),
+        hand_program=build_program(
+            nparticles, ncells, steps, num_nodes, seed=seed, hand=True
+        ),
+        params_fn=params_for(nparticles, ncells, num_nodes),
+        config=config,
+        data={"nparticles": nparticles, "ncells": ncells, "steps": steps,
+              "seed": seed},
+        notes="71% shared reads / 80% shared writes; dynamic access pattern",
+    )

@@ -1,0 +1,105 @@
+"""E5 — the Section 4.4 annotated matrix multiply (golden structure test).
+
+Both of the paper's listings are checked: Programmer CICO checks A and B out
+shared (with B's annotation hoisted to the row-range ``B[k, Ljp:Ujp]`` the
+paper prints) and wraps the raced C update in an immediate
+check-out-exclusive / check-in pair with the data-race flag; Performance
+CICO drops the shared check-outs entirely (Dir1SW checks blocks out
+implicitly on read misses) and keeps only the C annotations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.harness.runner import trace_program
+from repro.lang.unparse import unparse_program
+from repro.workloads.matmul_racing import make
+
+
+@pytest.fixture(scope="module")
+def cachier():
+    spec = make()
+    trace = trace_program(spec.program, spec.config, spec.params_fn)
+    return Cachier(
+        spec.program,
+        trace,
+        params_fn=spec.params_fn,
+        cache_size=spec.cachier_cache_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def programmer_text(cachier):
+    return unparse_program(cachier.annotate(Policy.PROGRAMMER).program)
+
+
+@pytest.fixture(scope="module")
+def performance_text(cachier):
+    return unparse_program(cachier.annotate(Policy.PERFORMANCE).program)
+
+
+def compute_section(text: str) -> str:
+    """The part after the init barrier (the annotated compute epoch)."""
+    return text.split("barrier", 1)[1]
+
+
+class TestProgrammerCico:
+    def test_race_flag_on_c(self, programmer_text):
+        assert "/*** Data Race on C[i, j] ***/" in programmer_text
+
+    def test_c_wrapped_with_co_x_and_ci(self, programmer_text):
+        lines = [l.strip() for l in programmer_text.splitlines()]
+        update = lines.index("C[i, j] = C[i, j] + t * B[k, j]")
+        assert lines[update - 2] == "check_out_X C[i, j]"
+        assert lines[update - 1] == "/*** Data Race on C[i, j] ***/"
+        assert lines[update + 1] == "check_in C[i, j]"
+
+    def test_b_checked_out_shared_as_row_range(self, programmer_text):
+        body = compute_section(programmer_text)
+        assert "check_out_S B[k, Ljp:Ujp]" in body
+        assert "check_in B[k, Ljp:Ujp]" in body
+
+    def test_a_checked_out_shared(self, programmer_text):
+        body = compute_section(programmer_text)
+        assert "check_out_S A[i, Lkp:Ukp]" in body
+
+    def test_init_epoch_annotated(self, programmer_text):
+        head = programmer_text.split("barrier", 1)[0]
+        assert "check_out_X" in head and "check_in" in head
+
+
+class TestPerformanceCico:
+    def test_no_shared_checkouts(self, performance_text):
+        """Dir1SW performs implicit check-out-shared on read misses, so
+        Performance CICO emits no check_out_S at all (Section 4.4)."""
+        assert "check_out_S" not in performance_text
+
+    def test_c_still_checked_out_exclusive(self, performance_text):
+        body = compute_section(performance_text)
+        assert "check_out_X C[i, j]" in body
+        assert "check_in C[i, j]" in body
+        assert "Data Race on C[i, j]" in body
+
+    def test_a_b_have_no_compute_annotations(self, performance_text):
+        body = compute_section(performance_text)
+        assert "check_out_S A" not in body
+        assert "check_out_S B" not in body
+        # A and B are never write-shared: no check-ins in the compute epoch.
+        assert "check_in A[i" not in body
+        assert "check_in B[k" not in body
+
+
+class TestReport:
+    def test_race_report_names_c_elements(self, cachier):
+        report = cachier.report
+        assert report.races, "expected potential data races on C"
+        assert all(var.startswith("C[") for var in report.race_vars())
+        rendered = report.render()
+        assert "Potential data races" in rendered
+
+    def test_annotation_is_deterministic(self, cachier):
+        one = unparse_program(cachier.annotate(Policy.PERFORMANCE).program)
+        two = unparse_program(cachier.annotate(Policy.PERFORMANCE).program)
+        assert one == two

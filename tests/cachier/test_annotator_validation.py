@@ -1,0 +1,123 @@
+"""Cachier constructor/API validation and misc annotator behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.errors import CachierError
+from repro.harness.runner import trace_program
+from repro.lang.ast import Function, Program
+from repro.lang.builder import ProgramBuilder
+from repro.machine.config import MachineConfig
+from repro.trace.records import Trace
+
+
+def tiny_setup():
+    b = ProgramBuilder("tiny")
+    A = b.shared("A", (8,))
+    me = b.param("me")
+    with b.function("main"):
+        b.set(A[me], 1)
+        b.barrier()
+        b.let("t", A[(me + 1) % 2])
+    program = b.build()
+    config = MachineConfig(num_nodes=2, cache_size=1024, block_size=32,
+                           assoc=2)
+    trace = trace_program(program, config)
+    return program, trace
+
+
+class TestConstructorValidation:
+    def test_unnumbered_program_rejected(self):
+        program = Program(name="raw", arrays={},
+                          functions={"main": Function("main", (), [])})
+        with pytest.raises(CachierError):
+            Cachier(program, Trace(num_nodes=2))
+
+    def test_trace_without_node_count_rejected(self):
+        program, trace = tiny_setup()
+        trace.num_nodes = 0
+        with pytest.raises(CachierError):
+            Cachier(program, trace)
+
+    def test_trace_without_labels_rejected(self):
+        program, trace = tiny_setup()
+        trace.labels = []
+        with pytest.raises(CachierError):
+            Cachier(program, trace)
+
+    def test_bad_policy_string_rejected(self):
+        with pytest.raises(ValueError):
+            Policy("nonsense")
+
+
+class TestAnnotateApi:
+    def test_original_program_never_mutated(self):
+        from repro.lang.transform import count_stmts
+        from repro.lang.unparse import unparse_program
+
+        program, trace = tiny_setup()
+        before_text = unparse_program(program)
+        before_count = count_stmts(program)
+        cachier = Cachier(program, trace)
+        cachier.annotate(Policy.PROGRAMMER)
+        cachier.annotate(Policy.PERFORMANCE, prefetch=True)
+        assert unparse_program(program) == before_text
+        assert count_stmts(program) == before_count
+
+    def test_result_carries_plan_and_policy(self):
+        program, trace = tiny_setup()
+        cachier = Cachier(program, trace)
+        result = cachier.annotate(Policy.PROGRAMMER)
+        assert result.policy is Policy.PROGRAMMER
+        assert result.plan is not None
+
+    def test_history_must_be_positive_to_matter(self):
+        program, trace = tiny_setup()
+        cachier = Cachier(program, trace)
+        # history=0 means "no memory of previous epochs": everything is
+        # checked out fresh each epoch.  It must still work.
+        result = cachier.annotate(Policy.PROGRAMMER, history=0)
+        assert result.program is not None
+
+    def test_independent_annotate_calls_do_not_interfere(self):
+        from repro.lang.unparse import unparse_program
+
+        program, trace = tiny_setup()
+        cachier = Cachier(program, trace)
+        a = cachier.annotate(Policy.PERFORMANCE)
+        b = cachier.annotate(Policy.PERFORMANCE)
+        assert unparse_program(a.program) == unparse_program(b.program)
+        assert a.program is not b.program
+
+
+class TestHandVariantsHaveTheirFlaws:
+    def test_mp3d_hand_checks_in_too_early(self):
+        from repro.lang.unparse import unparse_program
+        from repro.workloads.mp3d import make
+
+        w = make(nparticles=64, ncells=32, steps=2, num_nodes=4)
+        text = unparse_program(w.hand_program)
+        lines = [l.strip() for l in text.splitlines()]
+        # The flawed pattern: check_in between the read and the write.
+        ci = next(i for i, l in enumerate(lines)
+                  if l.startswith("check_in CELL[dest]"))
+        assert lines[ci + 1].startswith("CELL[dest] =")
+
+    def test_matmul_hand_has_redundant_checkouts(self):
+        from repro.lang.unparse import unparse_program
+        from repro.workloads.matmul import make
+
+        w = make(n=16, num_nodes=4)
+        text = unparse_program(w.hand_program)
+        assert "check_out_S A[i, k]" in text  # Dir1SW fetches this anyway
+
+    def test_barnes_hand_misses_ilist(self):
+        from repro.lang.unparse import unparse_program
+        from repro.workloads.barnes import make
+
+        w = make(nbodies=64, ntree=32, nlist=4, steps=2, num_nodes=4)
+        text = unparse_program(w.hand_program)
+        assert "check_in TVAL" in text
+        assert "check_in ILIST" not in text  # the missed annotation

@@ -1,0 +1,243 @@
+"""Direct unit tests of the placement planner on synthetic traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachier.drfs import detect_all
+from repro.cachier.epochs import EpochTable
+from repro.cachier.mapping import ParamEnv
+from repro.cachier.placement import (
+    Anchor,
+    BoundaryOp,
+    NearOp,
+    Planner,
+    merge_static_epochs,
+)
+from repro.errors import CachierError
+from repro.lang.ast import AnnotKind
+from repro.lang.unparse import target_str
+from repro.mem.labels import ArrayLabel, LabelTable
+from repro.mem.layout import AddressSpace
+from repro.trace.records import BarrierRecord, MissKind, MissRecord, Trace
+
+BS = 32  # block size
+
+
+def make_labels(shape=(16,), name="A"):
+    space = AddressSpace(block_size=BS)
+    labels = LabelTable()
+    labels.add(
+        ArrayLabel(
+            region=space.allocate(name, shape[0] * 8
+                                  if len(shape) == 1
+                                  else shape[0] * shape[1] * 8),
+            shape=shape,
+            elem_size=8,
+        )
+    )
+    return labels
+
+
+def build(trace, labels, num_nodes=2, policy="performance", cache=4096,
+          **kw):
+    table = EpochTable(trace)
+    drfs = detect_all(table)
+    statics = merge_static_epochs(trace, table, drfs, policy)
+    planner = Planner(
+        labels=labels,
+        env=ParamEnv(lambda n: {}, num_nodes),
+        entry="main",
+        cache_size=cache,
+        policy=policy,
+        block_size=BS,
+        **kw,
+    )
+    return planner.plan(statics), statics
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CachierError):
+            Planner(
+                labels=make_labels(),
+                env=ParamEnv(lambda n: {}, 1),
+                entry="main",
+                cache_size=1024,
+                policy="bogus",
+            )
+
+
+class TestBoundaryDecisions:
+    def test_full_participation_boundary_ci(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                # Node 0 writes two blocks in epoch 0; node 1 consumes both
+                # in epoch 1 (so the future-sharing refinement keeps them).
+                MissRecord(MissKind.WRITE_MISS, base, 1, 0, 0),
+                MissRecord(MissKind.WRITE_MISS, base + BS, 2, 0, 0),
+                MissRecord(MissKind.READ_MISS, base, 3, 1, 1),
+                MissRecord(MissKind.READ_MISS, base + BS, 4, 1, 1),
+            ],
+            barriers=[BarrierRecord(0, 50, 100, 0), BarrierRecord(1, 50, 100, 0)],
+            block_size=BS,
+            num_nodes=2,
+        )
+        plan, _ = build(trace, labels)
+        ci_ops = [op for op in plan.boundary if op.annot is AnnotKind.CHECK_IN]
+        assert ci_ops, plan
+        # Node 0's epoch-0 write set (2 blocks = elements 0..7) checks in at
+        # the closing barrier with a single-node guard.
+        op = ci_ops[0]
+        assert op.anchor == Anchor("before_pc", 50)
+        assert op.guard_node == 0
+        assert target_str(op.target) == "A[0:7]"
+
+    def test_performance_co_x_is_always_near(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                MissRecord(MissKind.READ_MISS, base, 7, 0, 0),
+                MissRecord(MissKind.WRITE_FAULT, base, 8, 0, 0),
+                # Another node touches it later so the ci refinement fires.
+                MissRecord(MissKind.READ_MISS, base, 9, 1, 1),
+            ],
+            barriers=[BarrierRecord(0, 50, 1, 0), BarrierRecord(1, 50, 1, 0)],
+            block_size=BS,
+            num_nodes=2,
+        )
+        plan, _ = build(trace, labels)
+        co_near = [op for op in plan.near
+                   if op.annot is AnnotKind.CHECK_OUT_X]
+        assert co_near and co_near[0].pc == 8  # anchored at the write site
+        assert co_near[0].position == "before"
+        assert not any(op.annot is AnnotKind.CHECK_OUT_X
+                       for op in plan.boundary)
+
+    def test_guard_not_for_all_but_one_participation(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                # Nodes 1 and 2 (of 3) read the whole array; node 0 writes it
+                # in the next epoch -> reader-side boundary ci guarded me!=0.
+                *[MissRecord(MissKind.READ_MISS, base + b * BS, 5, node, 0)
+                  for b in range(4) for node in (1, 2)],
+                *[MissRecord(MissKind.WRITE_MISS, base + b * BS, 6, 0, 1)
+                  for b in range(4)],
+            ],
+            barriers=[BarrierRecord(n, 50, 1, 0) for n in range(3)],
+            block_size=BS,
+            num_nodes=3,
+        )
+        plan, _ = build(trace, labels, num_nodes=3)
+        guarded = [op for op in plan.boundary
+                   if op.guard_not_node is not None]
+        assert guarded and guarded[0].guard_not_node == 0
+        assert guarded[0].annot is AnnotKind.CHECK_IN
+
+
+class TestDrfsPlacement:
+    def test_raced_block_gets_near_ops_with_comment(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                MissRecord(MissKind.WRITE_MISS, base, 11, 0, 0),
+                MissRecord(MissKind.WRITE_MISS, base, 12, 1, 0),
+            ],
+            block_size=BS,
+            num_nodes=2,
+        )
+        plan, _ = build(trace, labels, policy="programmer")
+        drfs_ops = [op for op in plan.near if op.drfs]
+        kinds = {op.annot for op in drfs_ops}
+        assert AnnotKind.CHECK_OUT_X in kinds
+        assert AnnotKind.CHECK_IN in kinds
+        co = next(op for op in drfs_ops if op.annot is AnnotKind.CHECK_OUT_X)
+        assert co.comment == "Data Race on"
+
+    def test_false_shared_block_flagged_differently(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                MissRecord(MissKind.WRITE_MISS, base, 11, 0, 0),
+                MissRecord(MissKind.READ_MISS, base + 8, 12, 1, 0),
+            ],
+            block_size=BS,
+            num_nodes=2,
+        )
+        plan, _ = build(trace, labels, policy="programmer")
+        comments = {op.comment for op in plan.near if op.comment}
+        assert "False Sharing on" in comments
+
+
+class TestCapacityAndWarnings:
+    def test_capacity_spills_co_to_near(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        trace = Trace(
+            misses=[
+                MissRecord(MissKind.WRITE_MISS, base + b * BS, 21, 0, 0)
+                for b in range(4)
+            ],
+            block_size=BS,
+            num_nodes=1,
+        )
+        # Budget below the 128-byte footprint: programmer co_x must go near.
+        plan, _ = build(trace, labels, num_nodes=1, policy="programmer",
+                        cache=64)
+        assert any(op.annot is AnnotKind.CHECK_OUT_X for op in plan.near)
+        assert not any(op.annot is AnnotKind.CHECK_OUT_X
+                       for op in plan.boundary)
+
+    def test_unlabelled_addresses_warn(self):
+        labels = make_labels()
+        trace = Trace(
+            misses=[MissRecord(MissKind.WRITE_MISS, 0x999000, 1, 0, 0)],
+            block_size=BS,
+            num_nodes=1,
+        )
+        plan, _ = build(trace, labels, num_nodes=1, policy="programmer")
+        assert plan.warnings
+        assert not plan.near and not plan.boundary
+
+
+class TestMergeAndDedup:
+    def test_steady_state_merge_drops_cold_only_sets(self):
+        labels = make_labels()
+        base = labels.get("A").region.base
+        # The same static epoch (barrier 50 -> barrier 50) runs 3 times;
+        # only the first instance write-faults.
+        misses = [
+            MissRecord(MissKind.READ_MISS, base, 5, 0, 0),
+            MissRecord(MissKind.WRITE_FAULT, base, 6, 0, 0),
+            MissRecord(MissKind.READ_MISS, base, 5, 0, 1),
+            MissRecord(MissKind.READ_MISS, base, 5, 0, 2),
+        ]
+        barriers = [BarrierRecord(0, 50, t * 100, t) for t in range(3)]
+        trace = Trace(misses=misses, barriers=barriers, block_size=BS,
+                      num_nodes=1)
+        table = EpochTable(trace)
+        statics = merge_static_epochs(
+            trace, table, detect_all(table), "performance"
+        )
+        steady = statics[(50, 50)]
+        merged = steady.per_node.get(0)
+        assert merged is None or not merged.co_x  # cold fault not pinned
+
+    def test_near_dedupe_prefers_drfs(self):
+        plan_ops = [
+            NearOp(AnnotKind.CHECK_IN, "A", 5, "after", drfs=False),
+            NearOp(AnnotKind.CHECK_IN, "A", 5, "after", drfs=True),
+        ]
+        from repro.cachier.placement import Plan, Planner
+
+        plan = Plan(near=list(plan_ops))
+        Planner._dedupe(plan)
+        assert len(plan.near) == 1
+        assert plan.near[0].drfs

@@ -1,0 +1,67 @@
+"""Cross-product smoke: both policies on every workload, with invariants.
+
+For each registered workload and each policy (with and without prefetch):
+the annotator completes, the annotated program runs to completion, and for
+race-free workloads the results are bit-identical to the unannotated run.
+This is the coarse safety net under all the targeted tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.harness.runner import run_program, trace_program
+from repro.workloads.base import get_workload
+
+CONFIGS = {
+    "matmul": dict(n=16, num_nodes=4, cache_size=8192),
+    "ocean": dict(n=16, steps=2, num_nodes=8, cache_size=4096),
+    "mp3d": dict(nparticles=64, ncells=32, steps=2, num_nodes=4),
+    "barnes": dict(nbodies=64, ntree=32, nlist=4, steps=2, num_nodes=4),
+    "tomcatv": dict(n=24, rows_per_node=12, steps=2, num_nodes=4),
+    "jacobi": dict(n=8, steps=2, num_nodes=4),
+    "matmul_racing": dict(n=8, num_nodes=4),
+    "fft": dict(n=16, steps=2, num_nodes=4),
+}
+RACY = {"mp3d", "jacobi", "matmul_racing"}
+
+
+@pytest.fixture(scope="module")
+def annotators():
+    cache = {}
+    for name, kwargs in CONFIGS.items():
+        spec = get_workload(name, **kwargs)
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+        cache[name] = (
+            spec,
+            Cachier(spec.program, trace, params_fn=spec.params_fn,
+                    cache_size=spec.cachier_cache_size),
+        )
+    return cache
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+@pytest.mark.parametrize("policy", list(Policy))
+@pytest.mark.parametrize("prefetch", [False, True])
+def test_annotate_and_run(annotators, name, policy, prefetch):
+    spec, cachier = annotators[name]
+    result = cachier.annotate(policy, prefetch=prefetch)
+    assert not result.stats.skipped, result.stats.skipped
+    run, store = run_program(result.program, spec.config, spec.params_fn)
+    assert run.cycles > 0
+    if name not in RACY:
+        _, plain = run_program(spec.program, spec.config, spec.params_fn)
+        for array in plain.values:
+            assert np.array_equal(
+                plain.values[array], store.values[array]
+            ), (name, policy, prefetch, array)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_annotation_counts_reported(annotators, name):
+    _, cachier = annotators[name]
+    result = cachier.annotate(Policy.PERFORMANCE)
+    stats = result.stats
+    assert stats.boundary + stats.near >= 1, "no annotations at all?"

@@ -1,0 +1,239 @@
+"""Unit tests of presentation helpers: ref finding, substitution, hoisting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachier.mapping import ParamEnv
+from repro.cachier.placement import Anchor, BoundaryOp, NearOp, Plan
+from repro.cachier.presentation import (
+    Presenter,
+    _expr_has_load,
+    find_array_ref,
+    spec_has_load,
+    subst_local,
+)
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    AnnotTarget,
+    Assign,
+    Bin,
+    Comment,
+    Const,
+    If,
+    Load,
+    Local,
+    Param,
+    RangeSpec,
+    Store,
+    While,
+)
+from repro.lang.builder import ProgramBuilder
+from repro.lang.unparse import unparse_program
+from repro.mem.labels import ArrayLabel, LabelTable
+from repro.mem.layout import AddressSpace
+
+
+class TestFindArrayRef:
+    def test_store_target(self):
+        stmt = Store("A", (Local("i"),), Const(1))
+        assert find_array_ref(stmt, "A") == (Local("i"),)
+
+    def test_load_in_assign(self):
+        stmt = Assign("t", Bin("+", Load("B", (Local("k"),)), Const(1)))
+        assert find_array_ref(stmt, "B") == (Local("k"),)
+        assert find_array_ref(stmt, "Z") is None
+
+    def test_load_nested_in_index(self):
+        # A[ IDX[j] ]: both arrays must be findable.
+        inner = Load("IDX", (Local("j"),))
+        stmt = Assign("t", Load("A", (inner,)))
+        assert find_array_ref(stmt, "A") == (inner,)
+        assert find_array_ref(stmt, "IDX") == (Local("j"),)
+
+    def test_condition_refs(self):
+        stmt = If(cond=Bin("<", Load("A", (Const(0),)), Const(5)), then=[], els=[])
+        assert find_array_ref(stmt, "A") == (Const(0),)
+        wl = While(cond=Load("A", (Const(1),)), body=[])
+        assert find_array_ref(wl, "A") == (Const(1),)
+
+
+class TestSubstAndLoads:
+    def test_subst_local(self):
+        expr = Bin("+", Local("i"), Bin("*", Local("j"), Const(2)))
+        out = subst_local(expr, "i", Bin("+", Local("i"), Const(1)))
+        assert out == Bin(
+            "+", Bin("+", Local("i"), Const(1)), Bin("*", Local("j"), Const(2))
+        )
+
+    def test_subst_inside_load(self):
+        expr = Load("A", (Local("i"),))
+        out = subst_local(expr, "i", Const(3))
+        assert out == Load("A", (Const(3),))
+
+    def test_expr_has_load(self):
+        assert _expr_has_load(Load("A", (Const(0),)))
+        assert _expr_has_load(Bin("+", Const(1), Load("A", (Const(0),))))
+        assert not _expr_has_load(Bin("+", Local("i"), Param("N")))
+
+    def test_spec_has_load_on_ranges(self):
+        spec = RangeSpec(lo=Const(0), hi=Load("A", (Const(0),)))
+        assert spec_has_load(spec)
+        assert not spec_has_load(RangeSpec(lo=Const(0), hi=Param("N")))
+
+
+def presenter_for(program, budget=10_000, prefetch=False):
+    space = AddressSpace(block_size=32)
+    labels = LabelTable()
+    for decl in program.shared_arrays():
+        from math import prod
+
+        labels.add(
+            ArrayLabel(
+                region=space.allocate(decl.name, prod(decl.shape) * 8),
+                shape=decl.shape,
+                elem_size=8,
+            )
+        )
+    return Presenter(
+        program=program,
+        labels=labels,
+        env=ParamEnv(lambda n: {}, 2),
+        budget=budget,
+        prefetch=prefetch,
+    )
+
+
+def nested_loop_program():
+    b = ProgramBuilder("nest")
+    A = b.shared("A", (8, 8))
+    with b.function("main"):
+        with b.for_("i", 0, 7) as i:
+            with b.for_("j", 0, 7) as j:
+                b.set(A[i, j], i + j)
+    return b.build()
+
+
+class TestHoisting:
+    def store_pc(self, program):
+        return program.function("main").body[0].body[0].body[0].pc
+
+    def test_matched_hoist_produces_range(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", self.store_pc(program), "before")
+        ]))
+        text = unparse_program(program)
+        assert "check_out_X A[i, 0:7]" in text
+        # Placed before the j loop, inside the i loop.
+        lines = [l.rstrip() for l in text.splitlines()]
+        at = lines.index("    check_out_X A[i, 0:7]")
+        assert lines[at + 1].lstrip().startswith("for j")
+
+    def test_drfs_op_never_hoists_and_gets_flag(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", self.store_pc(program),
+                   "before", drfs=True, comment="Data Race on"),
+        ]))
+        text = unparse_program(program)
+        assert "check_out_X A[i, j]" in text
+        assert "/*** Data Race on A[i, j] ***/" in text
+
+    def test_budget_limits_hoist(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program, budget=32)  # 4 elements only
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", self.store_pc(program), "before")
+        ]))
+        text = unparse_program(program)
+        assert "check_out_X A[i, j]" in text  # stayed per element
+
+    def test_missing_pc_recorded_as_skip(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        stats = presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", 9999, "before")
+        ]))
+        assert stats.skipped
+
+    def test_wrong_array_recorded_as_skip(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        stats = presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "ZZZ", self.store_pc(program),
+                   "before")
+        ]))
+        assert stats.skipped
+
+
+class TestBoundaryApplication:
+    def test_function_start_and_end(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        target = AnnotTarget("A", (RangeSpec(Const(0), Const(7)),
+                                   RangeSpec(Const(0), Const(7))))
+        presenter.apply(Plan(boundary=[
+            BoundaryOp(AnnotKind.CHECK_OUT_X, target,
+                       Anchor("func_start", "main")),
+            BoundaryOp(AnnotKind.CHECK_IN, target,
+                       Anchor("func_end", "main")),
+        ]))
+        lines = unparse_program(program).splitlines()
+        assert lines[0] == "check_out_X A[0:7, 0:7]"
+        assert lines[-1] == "check_in A[0:7, 0:7]"
+
+    def test_guard_wrapping(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        target = AnnotTarget("A", (Const(0), Const(0)))
+        presenter.apply(Plan(boundary=[
+            BoundaryOp(AnnotKind.CHECK_IN, target,
+                       Anchor("func_end", "main"), guard_node=1),
+            BoundaryOp(AnnotKind.CHECK_OUT_S, target,
+                       Anchor("func_start", "main"), guard_not_node=0),
+        ]))
+        text = unparse_program(program)
+        assert "if me == 1 then" in text
+        assert "if me != 0 then" in text
+
+    def test_duplicate_boundary_ops_deduped(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program)
+        target = AnnotTarget("A", (Const(0), Const(0)))
+        op = BoundaryOp(AnnotKind.CHECK_IN, target, Anchor("func_end", "main"))
+        stats = presenter.apply(Plan(boundary=[op, op]))
+        assert stats.boundary == 1
+
+
+class TestPipelinePrefetch:
+    def test_prefetch_guarded_next_iteration(self):
+        program = nested_loop_program()
+        presenter = presenter_for(program, prefetch=True)
+        pc = program.function("main").body[0].body[0].body[0].pc
+        stats = presenter.apply(Plan(prefetch=[
+            NearOp(AnnotKind.PREFETCH_X, "A", pc, "pipeline")
+        ]))
+        assert stats.prefetches == 1
+        text = unparse_program(program)
+        assert "if i + 1 <= 7 then" in text
+        assert "prefetch_X A[i + 1, 0:7]" in text
+
+    def test_indirect_index_not_prefetchable(self):
+        b = ProgramBuilder("indirect")
+        A = b.shared("A", (8,))
+        IDX = b.shared("IDX", (8,))
+        with b.function("main"):
+            with b.for_("i", 0, 7) as i:
+                b.set(A[IDX[i]], 1)
+        program = b.build()
+        presenter = presenter_for(program, prefetch=True)
+        pc = program.function("main").body[0].body[0].pc
+        stats = presenter.apply(Plan(prefetch=[
+            NearOp(AnnotKind.PREFETCH_X, "A", pc, "pipeline")
+        ]))
+        assert stats.prefetches == 0
+        assert stats.skipped

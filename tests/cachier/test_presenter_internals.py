@@ -1,0 +1,106 @@
+"""Presenter internals: insertion bookkeeping and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachier.mapping import ParamEnv
+from repro.cachier.placement import Anchor, BoundaryOp, NearOp, Plan
+from repro.cachier.presentation import Presenter, _Insert
+from repro.errors import CachierError
+from repro.lang.ast import AnnotKind, AnnotTarget, Comment, Const
+from repro.lang.builder import ProgramBuilder
+from repro.lang.unparse import unparse_program
+from repro.mem.labels import ArrayLabel, LabelTable
+from repro.mem.layout import AddressSpace
+
+
+def make_presenter(program):
+    space = AddressSpace(block_size=32)
+    labels = LabelTable()
+    from math import prod
+
+    for decl in program.shared_arrays():
+        labels.add(ArrayLabel(
+            region=space.allocate(decl.name, prod(decl.shape) * 8),
+            shape=decl.shape, elem_size=8,
+        ))
+    return Presenter(
+        program=program, labels=labels,
+        env=ParamEnv(lambda n: {}, 1), budget=10_000,
+    )
+
+
+def two_stmt_program():
+    b = ProgramBuilder("two")
+    A = b.shared("A", (8,))
+    with b.function("main"):
+        b.set(A[0], 1)
+        b.set(A[1], 2)
+    return b.build()
+
+
+class TestInsertionOrder:
+    def test_multiple_before_inserts_keep_order(self):
+        program = two_stmt_program()
+        presenter = make_presenter(program)
+        pc = program.function("main").body[0].pc
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", pc, "before"),
+            NearOp(AnnotKind.CHECK_OUT_S, "A", pc, "before"),
+        ]))
+        lines = [l.strip() for l in unparse_program(program).splitlines()]
+        x_at = lines.index("check_out_X A[0]")
+        s_at = lines.index("check_out_S A[0]")
+        assert x_at < s_at < lines.index("A[0] = 1")
+
+    def test_before_and_after_same_anchor(self):
+        program = two_stmt_program()
+        presenter = make_presenter(program)
+        pc = program.function("main").body[0].pc
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", pc, "before"),
+            NearOp(AnnotKind.CHECK_IN, "A", pc, "after"),
+        ]))
+        lines = [l.strip() for l in unparse_program(program).splitlines()]
+        assert lines == [
+            "check_out_X A[0]",
+            "A[0] = 1",
+            "check_in A[0]",
+            "A[1] = 2",
+        ]
+
+    def test_vanished_anchor_raises(self):
+        program = two_stmt_program()
+        presenter = make_presenter(program)
+        stray = Comment(text="orphan")
+        presenter._inserts.append(
+            _Insert(block=program.function("main").body, anchor=stray,
+                    position="before", stmts=[Comment(text="x")])
+        )
+        with pytest.raises(CachierError):
+            presenter._flush()
+
+    def test_duplicate_near_ops_dedupe_by_rendered_target(self):
+        program = two_stmt_program()
+        presenter = make_presenter(program)
+        pc = program.function("main").body[0].pc
+        stats = presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", pc, "before"),
+            NearOp(AnnotKind.CHECK_OUT_X, "A", pc, "before"),
+        ]))
+        assert stats.near == 1
+
+    def test_fresh_pcs_assigned_to_inserts(self):
+        from repro.lang.ast import walk_stmts
+
+        program = two_stmt_program()
+        old_max = program.max_pc
+        presenter = make_presenter(program)
+        pc = program.function("main").body[0].pc
+        presenter.apply(Plan(near=[
+            NearOp(AnnotKind.CHECK_OUT_X, "A", pc, "before"),
+        ]))
+        pcs = [s.pc for s in walk_stmts(program.function("main").body)]
+        assert len(set(pcs)) == len(pcs)
+        assert program.max_pc > old_max

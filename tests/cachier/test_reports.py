@@ -1,0 +1,80 @@
+"""Tests for the data-race / false-sharing report."""
+
+from __future__ import annotations
+
+from repro.cachier.drfs import detect_all
+from repro.cachier.epochs import EpochTable
+from repro.cachier.reports import SharingReport
+from repro.mem.labels import ArrayLabel, LabelTable
+from repro.mem.layout import AddressSpace
+from repro.trace.records import MissKind, MissRecord, Trace
+
+
+def build_report(records, shape=(16,)):
+    space = AddressSpace(block_size=32)
+    region = space.allocate("A", shape[0] * 8)
+    labels = LabelTable()
+    labels.add(ArrayLabel(region=region, shape=shape, elem_size=8))
+    base = region.base
+    trace = Trace(
+        misses=[
+            MissRecord(kind, base + off, pc, node, epoch)
+            for kind, off, pc, node, epoch in records
+        ],
+        block_size=32,
+    )
+    drfs = detect_all(EpochTable(trace))
+    return SharingReport.build(drfs, labels)
+
+
+class TestRaces:
+    def test_race_resolved_to_variable(self):
+        report = build_report([
+            (MissKind.WRITE_MISS, 0, 1, 0, 0),
+            (MissKind.WRITE_MISS, 0, 2, 1, 0),
+        ])
+        assert len(report.races) == 1
+        finding = report.races[0]
+        assert finding.var == "A[0]"
+        assert finding.nodes == (0, 1)
+        assert "A[0]" in report.render()
+
+    def test_no_races(self):
+        report = build_report([(MissKind.READ_MISS, 0, 1, 0, 0)])
+        assert not report.races
+        assert "No potential data races" in report.render()
+
+
+class TestFalseSharing:
+    def test_false_sharing_lists_both_variables(self):
+        report = build_report([
+            (MissKind.WRITE_MISS, 0, 1, 0, 0),
+            (MissKind.READ_MISS, 8, 2, 1, 0),  # same block, next element
+        ])
+        assert len(report.false_sharing) == 1
+        assert set(report.false_sharing[0].vars) == {"A[0]", "A[1]"}
+        assert "pad the data structures" in report.render()
+
+    def test_vars_helpers(self):
+        report = build_report([
+            (MissKind.WRITE_MISS, 0, 1, 0, 0),
+            (MissKind.WRITE_MISS, 0, 2, 1, 0),
+            (MissKind.READ_MISS, 16, 3, 2, 0),
+        ])
+        assert "A[0]" in report.race_vars()
+        assert "A[2]" in report.false_sharing_vars()
+
+    def test_unlabelled_addresses_render_as_hex(self):
+        space = AddressSpace(block_size=32)
+        region = space.allocate("A", 32)
+        labels = LabelTable()
+        labels.add(ArrayLabel(region=region, shape=(4,), elem_size=8))
+        trace = Trace(
+            misses=[
+                MissRecord(MissKind.WRITE_MISS, 0x999900, 1, 0, 0),
+                MissRecord(MissKind.WRITE_MISS, 0x999900, 2, 1, 0),
+            ],
+            block_size=32,
+        )
+        report = SharingReport.build(detect_all(EpochTable(trace)), labels)
+        assert report.races[0].var.startswith("0x")

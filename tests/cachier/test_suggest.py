@@ -1,0 +1,93 @@
+"""Tests for the restructuring-suggestion engine."""
+
+from __future__ import annotations
+
+from repro.cachier.reports import FalseSharingFinding, RaceFinding, SharingReport
+from repro.cachier.suggest import advise
+
+
+def report_with(races=(), false_shared=()):
+    report = SharingReport()
+    for var in races:
+        report.races.append(RaceFinding(epoch=0, var=var, nodes=(0, 1)))
+    for vars_ in false_shared:
+        report.false_sharing.append(
+            FalseSharingFinding(epoch=0, block=0, vars=tuple(vars_))
+        )
+    return report
+
+
+class TestAdvise:
+    def test_clean_report(self):
+        advice = advise(report_with())
+        assert not advice.suggestions
+        assert "No restructuring needed" in advice.render()
+
+    def test_few_races_suggest_lock(self):
+        advice = advise(report_with(races=["C[0, 0]", "C[0, 1]"]))
+        (s,) = advice.suggestions
+        assert s.kind == "lock" and s.array == "C"
+        assert "lock" in advice.render()
+
+    def test_many_races_suggest_privatization(self):
+        races = [f"C[{i}, 0]" for i in range(12)]
+        advice = advise(report_with(races=races))
+        (s,) = advice.suggestions
+        assert s.kind == "privatize"
+        assert "Section 5" in s.detail
+
+    def test_false_sharing_suggests_padding(self):
+        advice = advise(report_with(false_shared=[["G[0, 4]", "G[0, 5]"]]))
+        (s,) = advice.suggestions
+        assert s.kind == "pad" and s.array == "G"
+        assert "multiple of 4" in s.detail
+
+    def test_race_advice_dominates_fs_for_same_array(self):
+        advice = advise(
+            report_with(races=["C[0, 0]"],
+                        false_shared=[["C[0, 1]", "C[0, 2]"]])
+        )
+        kinds = {s.kind for s in advice.suggestions}
+        assert kinds == {"lock"}
+
+    def test_sorted_by_weight(self):
+        advice = advise(report_with(
+            races=["A[0]"],
+            false_shared=[["B[0]", "B[1]"], ["B[2]", "B[3]"]],
+        ))
+        assert advice.suggestions[0].array == "B"  # 4 findings beat 1
+
+    def test_for_array_filter(self):
+        advice = advise(report_with(races=["A[0]"],
+                                    false_shared=[["B[0]", "B[1]"]]))
+        assert {s.kind for s in advice.for_array("A")} == {"lock"}
+        assert {s.kind for s in advice.for_array("B")} == {"pad"}
+
+
+class TestEndToEnd:
+    def test_racing_matmul_gets_section5_advice(self):
+        from repro.cachier.annotator import Cachier
+        from repro.harness.runner import trace_program
+        from repro.workloads.matmul_racing import make
+
+        spec = make()
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+        cachier = Cachier(spec.program, trace, params_fn=spec.params_fn,
+                          cache_size=spec.cachier_cache_size)
+        advice = advise(cachier.report)
+        c_advice = advice.for_array("C")
+        assert c_advice and c_advice[0].kind == "privatize"
+
+    def test_restructured_matmul_is_quiet_for_c_races(self):
+        """After the Section 5 restructuring the merge is lock-protected;
+        the remaining flags (if any) are the intended, serialized merge."""
+        from repro.cachier.annotator import Cachier
+        from repro.harness.runner import trace_program
+        from repro.workloads.matmul_restructured import make
+
+        spec = make()
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+        cachier = Cachier(spec.program, trace, params_fn=spec.params_fn,
+                          cache_size=spec.config.cache_size)
+        advice = advise(cachier.report)
+        assert not any(s.kind == "privatize" for s in advice.for_array("C"))

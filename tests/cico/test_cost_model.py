@@ -1,0 +1,98 @@
+"""Tests for the analytic CICO cost model (Section 2.1 / Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cico.annotations import annotation_overhead_cycles
+from repro.cico.cost_model import (
+    CicoCostModel,
+    jacobi_boundary_checkouts_per_step,
+    jacobi_checkouts_cache_fits,
+    jacobi_checkouts_column_fits,
+    matmul_original_c_checkouts,
+    matmul_restructured_c_checkouts,
+    matmul_restructured_raced_checkouts,
+)
+from repro.coherence.costs import CostModel
+from repro.errors import ReproError
+
+
+class TestJacobiFormulas:
+    def test_paper_structure(self):
+        # N=16, P=4, b=4, T=4 (the harness configuration).
+        fits = jacobi_checkouts_cache_fits(16, 4, 4, 4)
+        column = jacobi_checkouts_column_fits(16, 4, 4, 4)
+        assert fits == 2 * 16 * 4 * 4 * 5 / 4 + 256 / 4
+        assert column == (2 * 16 * 4 * 5 / 4 + 256 / 4) * 4
+
+    def test_column_regime_rechecks_matrix_every_step(self):
+        """The column-fits total re-pays the matrix term T times."""
+        for T in (1, 2, 5):
+            fits = jacobi_checkouts_cache_fits(16, 4, 4, T)
+            column = jacobi_checkouts_column_fits(16, 4, 4, T)
+            assert column - fits == pytest.approx((T - 1) * 256 / 4)
+
+    def test_boundary_per_step(self):
+        assert jacobi_boundary_checkouts_per_step(16, 4, 4) == pytest.approx(
+            2 * 16 * 5 / (4 * 4)
+        )
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            jacobi_checkouts_cache_fits(15, 4, 4, 1)  # N not multiple of P
+        with pytest.raises(ReproError):
+            jacobi_checkouts_cache_fits(16, 0, 4, 1)
+
+    @given(st.integers(1, 6), st.integers(1, 8))
+    def test_column_regime_never_cheaper(self, p_log, T):
+        P = p_log
+        N = 8 * P
+        assert jacobi_checkouts_column_fits(N, P, 4, T) >= (
+            jacobi_checkouts_cache_fits(N, P, 4, T) - 1e-9
+        )
+
+
+class TestMatmulCounts:
+    def test_section5_numbers(self):
+        # The paper's algebra with its own symbols.
+        assert matmul_original_c_checkouts(8) == 512
+        assert matmul_restructured_c_checkouts(8, 2) == 64
+        assert matmul_restructured_raced_checkouts(8, 2) == 32
+
+    @given(st.integers(1, 8))
+    def test_restructured_always_fewer(self, p):
+        n = 8 * p
+        assert matmul_restructured_c_checkouts(n, p) < (
+            matmul_original_c_checkouts(n)
+        )
+
+    def test_raced_is_half_of_restructured(self):
+        assert matmul_restructured_raced_checkouts(16, 4) * 2 == (
+            matmul_restructured_c_checkouts(16, 4)
+        )
+
+
+class TestCostAttribution:
+    def test_overhead(self):
+        cost = CostModel(directive_cycles=5)
+        assert annotation_overhead_cycles(10, cost) == 50
+
+    def test_checkout_cost_scales_with_remote_fraction(self):
+        model = CicoCostModel()
+        local = model.checkout_cost(10, remote_fraction=0.0)
+        remote = model.checkout_cost(10, remote_fraction=1.0)
+        assert remote > local
+        assert local == 10 * model.cost.directive_cycles
+
+    def test_bad_fraction(self):
+        with pytest.raises(ReproError):
+            CicoCostModel().checkout_cost(1, remote_fraction=1.5)
+
+    def test_program_cost_combines(self):
+        model = CicoCostModel()
+        combined = model.program_cost(4, 4, remote_fraction=0.5)
+        assert combined == pytest.approx(
+            model.checkout_cost(4, 0.5) + model.checkin_cost(4)
+        )

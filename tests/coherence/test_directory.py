@@ -1,0 +1,103 @@
+"""Tests for Dir1SW directory entries and transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.directory import Directory, DirState
+from repro.errors import ProtocolError
+
+
+class TestEntryLifecycle:
+    def test_implicit_idle(self):
+        d = Directory()
+        e = d.entry(5)
+        assert e.state is DirState.IDLE
+        assert e.count == 0 and e.ptr is None
+        e.check()
+
+    def test_single_reader_has_valid_ptr(self):
+        d = Directory()
+        e = d.add_reader(5, node=2)
+        assert e.state is DirState.RO
+        assert e.count == 1 and e.ptr == 2
+        assert e.ptr_valid
+        e.check()
+
+    def test_second_reader_loses_ptr(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        e = d.add_reader(5, 3)
+        assert e.count == 2 and e.ptr is None
+        assert not e.ptr_valid
+        e.check()
+
+    def test_same_reader_twice_counts_once(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        e = d.add_reader(5, 2)
+        assert e.count == 1
+
+    def test_owner(self):
+        d = Directory()
+        e = d.make_owner(5, 1)
+        assert e.state is DirState.RW and e.ptr == 1 and e.ptr_valid
+        e.check()
+
+    def test_make_owner_with_other_sharers_rejected(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        with pytest.raises(ProtocolError):
+            d.make_owner(5, 3)
+
+    def test_owner_can_be_promoted_from_own_shared(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        d.drop(5, 2)
+        e = d.make_owner(5, 2)
+        assert e.state is DirState.RW
+
+    def test_add_reader_on_rw_rejected(self):
+        d = Directory()
+        d.make_owner(5, 1)
+        with pytest.raises(ProtocolError):
+            d.add_reader(5, 2)
+
+
+class TestDrop:
+    def test_drop_to_idle(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        e = d.drop(5, 2)
+        assert e.state is DirState.IDLE
+        e.check()
+
+    def test_drop_restores_ptr_when_one_left(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        d.add_reader(5, 3)
+        e = d.drop(5, 2)
+        assert e.count == 1 and e.ptr == 3
+        e.check()
+
+    def test_drop_nonholder_rejected(self):
+        d = Directory()
+        d.add_reader(5, 2)
+        with pytest.raises(ProtocolError):
+            d.drop(5, 9)
+
+    def test_clear_all_holders(self):
+        d = Directory()
+        d.add_reader(5, 1)
+        d.add_reader(5, 2)
+        holders = d.clear_all_holders(5)
+        assert holders == {1, 2}
+        e = d.entry(5)
+        assert e.state is DirState.IDLE
+        e.check()
+
+    def test_peek_does_not_create(self):
+        d = Directory()
+        assert d.peek(7) is None
+        d.entry(7)
+        assert d.peek(7) is not None

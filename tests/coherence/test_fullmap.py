@@ -1,0 +1,84 @@
+"""Tests for the full-map (DASH-style) baseline protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.costs import CostModel
+from repro.coherence.fullmap import FullMapProtocol
+from repro.coherence.protocol import Dir1SWProtocol
+
+COST = CostModel()
+
+
+def make(cls, nodes=4):
+    return cls(nodes, cache_size=1024, block_size=32, assoc=2, cost=COST)
+
+
+class TestNoSoftwareTraps:
+    def test_write_miss_many_sharers_multicasts(self):
+        p = make(FullMapProtocol)
+        for node in (1, 2, 3):
+            p.read(node, 10)
+        result = p.write(0, 10)
+        assert result.detail == "inv_multicast"
+        assert p.proto_stats.sw_traps == 0
+        assert p.proto_stats.hw_invalidations == 3
+        assert p.caches[1].lookup(10) is None
+        p.invariant_check()
+
+    def test_upgrade_many_sharers_multicasts(self):
+        p = make(FullMapProtocol)
+        for node in (0, 1, 2):
+            p.read(node, 10)
+        result = p.write(0, 10)
+        assert result.detail == "inv_multicast"
+        assert p.proto_stats.sw_traps == 0
+        p.invariant_check()
+
+    def test_single_sharer_paths_inherited(self):
+        p = make(FullMapProtocol)
+        p.read(1, 10)
+        result = p.write(0, 10)
+        assert result.detail == "inv1"  # the Dir1SW hardware-pointer path
+
+    def test_multicast_cheaper_than_trap(self):
+        def cost_of(cls):
+            p = make(cls)
+            for node in (1, 2, 3):
+                p.read(node, 10)
+            return p.write(0, 10).cycles
+
+        assert cost_of(FullMapProtocol) < cost_of(Dir1SWProtocol)
+
+
+class TestMachineIntegration:
+    def test_config_selects_protocol(self):
+        from repro.machine.config import MachineConfig
+        from repro.machine.machine import Machine
+
+        cfg = MachineConfig(num_nodes=2, cache_size=1024, block_size=32,
+                            assoc=2, protocol="fullmap")
+        assert isinstance(Machine(cfg).protocol, FullMapProtocol)
+
+    def test_unknown_protocol_rejected(self):
+        from repro.errors import MachineError
+        from repro.machine.config import MachineConfig
+
+        with pytest.raises(MachineError):
+            MachineConfig(num_nodes=2, cache_size=1024, protocol="mesi")
+
+    def test_same_functional_results_under_both_protocols(self):
+        """The protocol changes timing, never values."""
+        import numpy as np
+
+        from repro.harness.runner import run_program
+        from repro.workloads.base import get_workload
+
+        w = get_workload("ocean", n=16, steps=2, num_nodes=8,
+                         cache_size=4096)
+        _, store_a = run_program(w.program, w.config, w.params_fn)
+        cfg_b = w.config.scaled(protocol="fullmap")
+        _, store_b = run_program(w.program, cfg_b, w.params_fn)
+        for name in store_a.values:
+            assert np.array_equal(store_a.values[name], store_b.values[name])

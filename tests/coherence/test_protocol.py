@@ -1,0 +1,325 @@
+"""Tests for the Dir1SW protocol engine: transitions, costs, traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.state import LineState
+from repro.coherence.costs import CostModel
+from repro.coherence.messages import MessageKind
+from repro.coherence.protocol import AccessKind, Dir1SWProtocol
+
+
+COST = CostModel()
+
+
+def make_proto(nodes=4, cache_size=1024, block=32, assoc=2):
+    return Dir1SWProtocol(nodes, cache_size, block, assoc, cost=COST)
+
+
+class TestReads:
+    def test_cold_read_miss_from_memory(self):
+        p = make_proto()
+        r = p.read(0, 10)
+        assert r.kind is AccessKind.READ_MISS and r.detail == "memory"
+        assert r.cycles == COST.miss_from_memory()
+        p.invariant_check()
+
+    def test_read_hit_after_miss(self):
+        p = make_proto()
+        p.read(0, 10)
+        r = p.read(0, 10)
+        assert r.kind is AccessKind.HIT
+        assert r.cycles == COST.hit_cycles
+
+    def test_two_readers_share(self):
+        p = make_proto()
+        p.read(0, 10)
+        r = p.read(1, 10)
+        assert r.detail == "memory"  # RO block served by memory
+        entry = p.directory.entry(10)
+        assert entry.count == 2
+        p.invariant_check()
+
+    def test_read_of_remote_dirty_block_recalls(self):
+        p = make_proto()
+        p.write(0, 10)
+        r = p.read(1, 10)
+        assert r.detail == "recall"
+        assert r.cycles == COST.miss_with_recall()
+        # Owner was downgraded, its dirty data written back.
+        assert p.caches[0].lookup(10).state is LineState.SHARED
+        assert p.stats[0].writebacks == 1
+        assert p.proto_stats.recalls == 1
+        p.invariant_check()
+
+
+class TestWrites:
+    def test_cold_write_miss(self):
+        p = make_proto()
+        r = p.write(0, 10)
+        assert r.kind is AccessKind.WRITE_MISS and r.detail == "memory"
+        line = p.caches[0].lookup(10)
+        assert line.state is LineState.EXCLUSIVE and line.dirty
+        p.invariant_check()
+
+    def test_write_hit_on_exclusive(self):
+        p = make_proto()
+        p.write(0, 10)
+        r = p.write(0, 10)
+        assert r.kind is AccessKind.HIT
+
+    def test_read_then_write_is_fault_fast_upgrade(self):
+        """The exact pattern check_out_X exists to eliminate (Sec. 4.1)."""
+        p = make_proto()
+        p.read(0, 10)
+        r = p.write(0, 10)
+        assert r.kind is AccessKind.WRITE_FAULT and r.detail == "upgrade_fast"
+        assert r.cycles == COST.upgrade_fast()
+        assert p.stats[0].write_faults == 1
+        p.invariant_check()
+
+    def test_write_fault_with_other_sharers_traps(self):
+        p = make_proto()
+        for node in (0, 1, 2):
+            p.read(node, 10)
+        r = p.write(0, 10)
+        assert r.detail == "trap"
+        assert r.cycles == COST.sw_trap(2)
+        assert p.proto_stats.sw_traps == 1
+        assert p.proto_stats.bcast_invalidations == 2
+        assert p.caches[1].lookup(10) is None
+        assert p.caches[2].lookup(10) is None
+        p.invariant_check()
+
+    def test_write_miss_single_sharer_hw_invalidation(self):
+        """Dir1SW's single hardware pointer avoids the trap for one sharer."""
+        p = make_proto()
+        p.read(1, 10)
+        r = p.write(0, 10)
+        assert r.detail == "inv1"
+        assert r.cycles == COST.invalidate_single()
+        assert p.proto_stats.sw_traps == 0
+        assert p.proto_stats.hw_invalidations == 1
+        assert p.caches[1].lookup(10) is None
+        p.invariant_check()
+
+    def test_write_miss_many_sharers_traps(self):
+        p = make_proto()
+        p.read(1, 10)
+        p.read(2, 10)
+        r = p.write(0, 10)
+        assert r.detail == "trap"
+        assert p.proto_stats.sw_traps == 1
+        p.invariant_check()
+
+    def test_write_miss_to_remote_owner_recalls(self):
+        p = make_proto()
+        p.write(0, 10)
+        r = p.write(1, 10)
+        assert r.detail == "recall"
+        assert p.caches[0].lookup(10) is None
+        assert p.stats[0].writebacks == 1  # dirty data went home
+        p.invariant_check()
+
+
+class TestCheckInOut:
+    def test_checkin_then_write_avoids_invalidation(self):
+        """Mechanism 2: check-in empties the sharer set, so the next writer
+        misses straight to memory instead of trapping."""
+        p = make_proto()
+        for node in (1, 2, 3):
+            p.read(node, 10)
+        for node in (1, 2, 3):
+            p.check_in(node, 10)
+        r = p.write(0, 10)
+        assert r.detail == "memory"
+        assert p.proto_stats.sw_traps == 0
+        p.invariant_check()
+
+    def test_dirty_checkin_saves_recall_for_next_reader(self):
+        p = make_proto()
+        p.write(0, 10)
+        p.check_in(0, 10)
+        r = p.read(1, 10)
+        assert r.detail == "memory"
+        assert r.cycles == COST.miss_from_memory()
+        assert p.stats[0].writebacks == 1
+        p.invariant_check()
+
+    def test_checkout_x_before_read_kills_upgrade(self):
+        """Mechanism 1 (Sec. 4.1): read-before-write blocks get co_X."""
+        p = make_proto()
+        cycles = p.check_out(0, 10, exclusive=True)
+        assert cycles == COST.directive_cycles + COST.miss_from_memory()
+        r1 = p.read(0, 10)
+        r2 = p.write(0, 10)
+        assert r1.kind is AccessKind.HIT and r2.kind is AccessKind.HIT
+        assert p.stats[0].write_faults == 0
+
+    def test_redundant_checkout_costs_overhead_only(self):
+        p = make_proto()
+        p.read(0, 10)
+        assert p.check_out(0, 10, exclusive=False) == COST.directive_cycles
+        p.write(0, 20)
+        assert p.check_out(0, 20, exclusive=True) == COST.directive_cycles
+
+    def test_checkout_x_upgrades_shared_copy(self):
+        p = make_proto()
+        p.read(0, 10)
+        cycles = p.check_out(0, 10, exclusive=True)
+        assert cycles == COST.directive_cycles + COST.upgrade_fast()
+        assert p.caches[0].lookup(10).state is LineState.EXCLUSIVE
+
+    def test_checkin_without_copy_is_cheap_noop(self):
+        p = make_proto()
+        assert p.check_in(0, 99) == COST.directive_cycles
+        assert p.directory.peek(99) is None or not p.directory.entry(99).sharers
+
+    def test_checkin_counts(self):
+        p = make_proto()
+        p.read(0, 10)
+        p.check_in(0, 10)
+        assert p.stats[0].checkins == 1
+        assert p.caches[0].lookup(10) is None
+
+
+class TestPrefetch:
+    def test_prefetch_then_late_access_hits(self):
+        p = make_proto()
+        p.prefetch(0, 10, exclusive=False, now=0)
+        arrival = COST.miss_from_memory()
+        r = p.read(0, 10, now=arrival + 5)
+        assert r.kind is AccessKind.HIT and r.detail == "prefetched"
+        assert r.cycles == COST.hit_cycles
+        assert p.stats[0].prefetch_useful == 1
+
+    def test_prefetch_then_early_access_stalls_remainder(self):
+        p = make_proto()
+        p.prefetch(0, 10, exclusive=False, now=0)
+        r = p.read(0, 10, now=50)
+        expected_wait = COST.miss_from_memory() - 50
+        assert r.cycles == COST.hit_cycles + expected_wait
+
+    def test_prefetch_outstanding_limit(self):
+        p = make_proto()
+        for blk in range(COST.max_outstanding_prefetch):
+            p.prefetch(0, blk, exclusive=False, now=0)
+        p.prefetch(0, 100, exclusive=False, now=0)
+        assert p.proto_stats.prefetch_dropped == 1
+        assert p.caches[0].lookup(100) is None
+
+    def test_prefetch_exclusive_kills_future_fault(self):
+        p = make_proto()
+        p.prefetch(0, 10, exclusive=True, now=0)
+        r = p.write(0, 10, now=10_000)
+        assert r.kind is AccessKind.HIT
+        assert p.stats[0].write_faults == 0
+
+    def test_prefetch_already_cached_is_noop(self):
+        p = make_proto()
+        p.read(0, 10)
+        p.prefetch(0, 10, exclusive=False, now=0)
+        assert not p._pending[0]
+
+    def test_stolen_prefetched_block_misses_cleanly(self):
+        p = make_proto()
+        p.prefetch(0, 10, exclusive=True, now=0)
+        p.write(1, 10)  # steals the block before node 0 uses it
+        r = p.read(0, 10, now=10_000)
+        assert r.kind is AccessKind.READ_MISS
+        p.invariant_check()
+
+
+class TestEvictionsAndFlush:
+    def test_eviction_notifies_directory(self):
+        # 1-way, 1-set cache: every new block evicts the previous one.
+        p = Dir1SWProtocol(2, cache_size=32, block_size=32, assoc=1, cost=COST)
+        p.read(0, 1)
+        p.read(0, 2)
+        entry = p.directory.entry(1)
+        assert not entry.sharers  # decrement arrived
+        assert p.stats[0].evictions == 1
+        p.invariant_check()
+
+    def test_dirty_eviction_writes_back(self):
+        p = Dir1SWProtocol(2, cache_size=32, block_size=32, assoc=1, cost=COST)
+        p.write(0, 1)
+        p.read(0, 2)
+        assert p.stats[0].writebacks == 1
+        assert p.network.messages(MessageKind.WRITEBACK) == 1
+        p.invariant_check()
+
+    def test_flush_node(self):
+        p = make_proto()
+        p.read(0, 1)
+        p.write(0, 2)
+        flushed = p.flush_node(0)
+        assert flushed == 2
+        assert len(p.caches[0]) == 0
+        assert not p.directory.entry(1).sharers
+        assert not p.directory.entry(2).sharers
+        p.invariant_check()
+
+
+class TestTraffic:
+    def test_read_miss_traffic(self):
+        p = make_proto()
+        p.read(0, 10)
+        assert p.network.messages(MessageKind.GET_S) == 1
+        assert p.network.messages(MessageKind.DATA) == 1
+        assert p.network.total_messages == 2
+
+    def test_trap_traffic_scales_with_sharers(self):
+        p = make_proto()
+        for node in (1, 2, 3):
+            p.read(node, 10)
+        p.write(0, 10)
+        assert p.network.messages(MessageKind.BCAST_INV) == 3
+        assert p.network.messages(MessageKind.ACK) == 3
+
+    def test_checkin_reduces_total_traffic_for_producer_consumer(self):
+        """End-to-end traffic claim from the paper: with check-ins the
+        producer/consumer pattern sends fewer messages."""
+
+        def run(with_cico: bool) -> int:
+            p = make_proto()
+            for step in range(8):
+                block = step % 2
+                p.write(0, block)
+                if with_cico:
+                    p.check_in(0, block)
+                p.read(1, block)
+                if with_cico:
+                    p.check_in(1, block)
+            return p.network.total_messages
+
+        assert run(True) < run(False)
+
+
+class TestRandomisedInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_operation_soup_keeps_invariants(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        p = Dir1SWProtocol(4, cache_size=256, block_size=32, assoc=2, cost=COST)
+        now = 0
+        for _ in range(600):
+            node = rng.randrange(4)
+            block = rng.randrange(24)
+            op = rng.randrange(6)
+            if op == 0:
+                p.read(node, block, now)
+            elif op == 1:
+                p.write(node, block, now)
+            elif op == 2:
+                p.check_out(node, block, exclusive=bool(rng.randrange(2)), now=now)
+            elif op == 3:
+                p.check_in(node, block)
+            elif op == 4:
+                p.prefetch(node, block, exclusive=bool(rng.randrange(2)), now=now)
+            else:
+                p.flush_node(node)
+            now += rng.randrange(1, 200)
+        p.invariant_check()

@@ -1,0 +1,217 @@
+"""Tests for the program builder and the pseudocode unparser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    AnnotKind,
+    Assign,
+    Bin,
+    Const,
+    For,
+    Load,
+    Local,
+    Param,
+    Store,
+    walk_stmts,
+)
+from repro.lang.builder import ProgramBuilder
+from repro.lang.unparse import expr_str, unparse_program, unparse_with_map
+
+
+def simple_program():
+    b = ProgramBuilder("demo")
+    N = b.param("N")
+    A = b.shared("A", (16,))
+    with b.function("main"):
+        with b.for_("i", 0, N - 1) as i:
+            b.set(A[i], i * 2 + 1)
+        b.barrier()
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_numbered_program(self):
+        p = simple_program()
+        pcs = [s.pc for s in walk_stmts(p.function("main").body)]
+        assert pcs == [1, 2, 3]
+        assert p.max_pc == 3
+
+    def test_expression_tree_shape(self):
+        p = simple_program()
+        store = p.function("main").body[0].body[0]
+        assert isinstance(store, Store)
+        assert isinstance(store.expr, Bin) and store.expr.op == "+"
+        assert store.expr.right == Const(1)
+
+    def test_arity_checked_on_subscript(self):
+        b = ProgramBuilder("x")
+        A = b.shared("A", (4, 4))
+        with pytest.raises(LangError):
+            A[1]
+
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("x")
+        b.shared("A", (4,))
+        with pytest.raises(LangError):
+            b.private("A", (4,))
+
+    def test_statement_outside_function_rejected(self):
+        b = ProgramBuilder("x")
+        with pytest.raises(LangError):
+            b.barrier()
+
+    def test_build_requires_entry(self):
+        b = ProgramBuilder("x")
+        with b.function("helper"):
+            b.barrier()
+        with pytest.raises(LangError):
+            b.build()
+
+    def test_else_requires_if(self):
+        b = ProgramBuilder("x")
+        with b.function("main"):
+            with pytest.raises(LangError):
+                with b.else_():
+                    pass
+
+    def test_if_else(self):
+        b = ProgramBuilder("x")
+        me = b.param("me")
+        with b.function("main"):
+            with b.if_(me.eq(0)):
+                b.let("a", 1)
+            with b.else_():
+                b.let("a", 2)
+        p = b.build()
+        stmt = p.function("main").body[0]
+        assert len(stmt.then) == 1 and len(stmt.els) == 1
+
+    def test_annotation_target_arity_checked(self):
+        b = ProgramBuilder("x")
+        A = b.shared("A", (4, 4))
+        with b.function("main"):
+            with pytest.raises(LangError):
+                b.annot(AnnotKind.CHECK_IN, b.target(A, 1))
+
+    def test_reverse_operators(self):
+        b = ProgramBuilder("x")
+        n = b.param("N")
+        expr = (1 + n).node
+        assert isinstance(expr, Bin)
+        assert expr.left == Const(1) and expr.right == Param("N")
+
+
+class TestExprStr:
+    @pytest.mark.parametrize(
+        "build, expect",
+        [
+            (lambda b: b.param("N") + 1, "N + 1"),
+            (lambda b: (b.param("N") + 1) * 2, "(N + 1) * 2"),
+            (lambda b: b.param("a") - (b.param("b") - b.param("c")), "a - (b - c)"),
+            (lambda b: b.param("a") * b.param("b") + b.param("c"), "a * b + c"),
+            (lambda b: -b.param("a"), "-a"),
+            (lambda b: b.min(b.param("a"), 3), "min(a, 3)"),
+            (lambda b: b.param("a").eq(0), "a == 0"),
+            (lambda b: b.sqrt(b.param("a") + 1), "sqrt(a + 1)"),
+        ],
+    )
+    def test_rendering(self, build, expect):
+        b = ProgramBuilder("x")
+        assert expr_str(build(b).node) == expect
+
+    def test_float_consts(self):
+        assert expr_str(Const(2.0)) == "2"
+        assert expr_str(Const(0.5)) == "0.5"
+
+
+class TestUnparse:
+    def test_paper_style_loop(self):
+        text = unparse_program(simple_program())
+        assert text == (
+            "for i = 0 to N - 1 do\n"
+            "    A[i] = i * 2 + 1\n"
+            "od\n"
+            "barrier\n"
+        )
+
+    def test_annotations_and_comments(self):
+        b = ProgramBuilder("x")
+        C = b.shared("C", (8, 8))
+        with b.function("main"):
+            i, j = b.var("i"), b.var("j")
+            b.let("i", 0)
+            b.let("j", 0)
+            b.check_out_x(C[i, j])
+            b.comment("Data Race on C[i, j]")
+            b.set(C[i, j], C[i, j] + 1)
+            b.check_in(C[i, j])
+        text = unparse_program(b.build())
+        assert "check_out_X C[i, j]" in text
+        assert "/*** Data Race on C[i, j] ***/" in text
+        assert "check_in C[i, j]" in text
+
+    def test_range_targets(self):
+        b = ProgramBuilder("x")
+        B = b.shared("B", (8, 8))
+        Ljp, Ujp = b.param("Ljp"), b.param("Ujp")
+        with b.function("main"):
+            b.let("k", 0)
+            b.check_out_s(b.target(B, b.var("k"), b.range(Ljp, Ujp)))
+        text = unparse_program(b.build())
+        assert "check_out_S B[k, Ljp:Ujp]" in text
+
+    def test_strided_range_target(self):
+        b = ProgramBuilder("x")
+        A = b.shared("A", (64,))
+        with b.function("main"):
+            b.check_out_x(b.target(A, b.range(1, b.param("N"), 2)))
+        assert "check_out_X A[1:N:2]" in unparse_program(b.build())
+
+    def test_step_loop(self):
+        b = ProgramBuilder("x")
+        A = b.shared("A", (64,))
+        with b.function("main"):
+            with b.for_("i", 1, b.param("N"), step=2) as i:
+                b.set(A[i], 0)
+        assert "for i = 1 to N step 2 do" in unparse_program(b.build())
+
+    def test_multi_function_headers(self):
+        b = ProgramBuilder("x")
+        with b.function("init", params=("v",)):
+            b.let("a", b.var("v"))
+        with b.function("main"):
+            b.call("init", 3)
+        text = unparse_program(b.build())
+        assert "func init(v):" in text
+        assert "call init(3)" in text
+
+    def test_pc_line_map(self):
+        p = simple_program()
+        text, table = unparse_with_map(p)
+        lines = text.splitlines()
+        for_pc = p.function("main").body[0].pc
+        assert lines[table[for_pc] - 1].startswith("for i = 0")
+
+    def test_if_else_rendering(self):
+        b = ProgramBuilder("x")
+        with b.function("main"):
+            with b.if_(b.param("me").eq(0)):
+                b.let("a", 1)
+            with b.else_():
+                b.let("a", 2)
+        text = unparse_program(b.build())
+        assert "if me == 0 then" in text
+        assert "else" in text and "fi" in text
+
+    def test_lock_unlock_rendering(self):
+        b = ProgramBuilder("x")
+        C = b.shared("C", (4, 4))
+        with b.function("main"):
+            b.let("i", 0)
+            b.lock(C[b.var("i"), 0])
+            b.unlock(C[b.var("i"), 0])
+        text = unparse_program(b.build())
+        assert "lock C[i, 0]" in text and "unlock C[i, 0]" in text

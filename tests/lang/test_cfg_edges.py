@@ -1,0 +1,97 @@
+"""CFG edge cases: barriers inside conditionals and nested loops."""
+
+from __future__ import annotations
+
+from repro.lang.ast import Barrier, walk_stmts
+from repro.lang.builder import ProgramBuilder
+from repro.lang.cfg import build_cfg
+
+
+def barrier_pcs(program):
+    return [
+        s.pc
+        for func in program.functions.values()
+        for s in walk_stmts(func.body)
+        if isinstance(s, Barrier)
+    ]
+
+
+class TestBarrierInConditional:
+    def test_region_includes_both_branch_paths(self):
+        b = ProgramBuilder("condbar")
+        A = b.shared("A", (8,))
+        me = b.param("me")
+        with b.function("main"):
+            b.barrier()  # b1
+            with b.if_(me.eq(0)):
+                b.set(A[0], 1)  # t1
+            with b.else_():
+                b.set(A[1], 2)  # e1
+            b.barrier()  # b2
+        p = b.build()
+        b1, b2 = barrier_pcs(p)
+        regions = build_cfg(p).epoch_regions()
+        region = regions[(b1, b2)]
+        stores = [s.pc for f in p.functions.values()
+                  for s in walk_stmts(f.body)
+                  if type(s).__name__ == "Store"]
+        assert set(stores) <= region
+
+    def test_conditional_barrier_creates_two_closings(self):
+        """A barrier only one path reaches: the region from b1 can close
+        either at the conditional barrier or at program exit."""
+        b = ProgramBuilder("condbar2")
+        A = b.shared("A", (8,))
+        me = b.param("me")
+        with b.function("main"):
+            b.barrier()  # b1
+            with b.if_(me.eq(0)):
+                b.barrier()  # b2 (conditional: non-SPMD, but legal CFG)
+            b.set(A[0], 1)
+        p = b.build()
+        b1, b2 = barrier_pcs(p)
+        regions = build_cfg(p).epoch_regions()
+        assert (b1, b2) in regions
+        assert (b1, -1) in regions
+
+    def test_nested_loop_barrier_regions(self):
+        b = ProgramBuilder("nestbar")
+        A = b.shared("A", (8,))
+        with b.function("main"):
+            with b.for_("t", 0, 3):
+                with b.for_("i", 0, 7) as i:
+                    b.set(A[i], i)
+                b.barrier()
+        p = b.build()
+        (bar,) = barrier_pcs(p)
+        regions = build_cfg(p).epoch_regions()
+        # The in-loop barrier closes at itself on the next iteration.
+        assert (bar, bar) in regions
+        store_pc = p.function("main").body[0].body[0].body[0].pc
+        assert store_pc in regions[(bar, bar)]
+        # And the program-entry region reaches the barrier too.
+        assert (-1, bar) in regions
+
+    def test_while_loop_back_edge(self):
+        b = ProgramBuilder("whileback")
+        A = b.shared("A", (8,))
+        with b.function("main"):
+            b.let("n", 0)
+            with b.while_(b.var("n") < 3):
+                b.set(A[0], b.var("n"))
+                b.let("n", b.var("n") + 1)
+        p = b.build()
+        cfg = build_cfg(p)
+        while_stmt = p.function("main").body[1]
+        body_last = while_stmt.body[-1]
+        assert while_stmt.pc in cfg.succ[body_last.pc]  # back edge
+
+    def test_empty_program_entry_to_exit(self):
+        b = ProgramBuilder("empty")
+        b.shared("A", (8,))
+        with b.function("main"):
+            pass
+        cfg = build_cfg(b.build())
+        from repro.lang.cfg import ENTRY, EXIT
+
+        assert EXIT in cfg.succ[ENTRY]

@@ -1,0 +1,233 @@
+"""Tests for CFG construction, loop analysis, and AST transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LangError
+from repro.lang.ast import Barrier, Bin, Const, For, Local, Param, walk_stmts
+from repro.lang.builder import ProgramBuilder
+from repro.lang.cfg import build_cfg
+from repro.lang.loops import (
+    StmtIndex,
+    const_value,
+    expr_locals,
+    expr_params,
+    is_invariant,
+    match_loop_index,
+)
+from repro.lang.transform import (
+    clone_program,
+    count_stmts,
+    insert_after,
+    insert_before,
+    insert_at_function_end,
+    insert_at_function_start,
+)
+from repro.lang.unparse import unparse_program
+
+
+def barrier_pcs(program):
+    return [
+        s.pc
+        for s in walk_stmts(program.function("main").body)
+        if isinstance(s, Barrier)
+    ]
+
+
+def straightline_program():
+    """init ; barrier ; work ; barrier ; tail"""
+    b = ProgramBuilder("straight")
+    A = b.shared("A", (8,))
+    with b.function("main"):
+        b.set(A[0], 1)  # pc 1
+        b.barrier()  # pc 2
+        b.set(A[1], 2)  # pc 3
+        b.barrier()  # pc 4
+        b.set(A[2], 3)  # pc 5
+    return b.build()
+
+
+def loop_barrier_program():
+    """init; barrier; for t: { work; barrier }; tail"""
+    b = ProgramBuilder("loopy")
+    A = b.shared("A", (8,))
+    with b.function("main"):
+        b.set(A[0], 1)  # pc 1
+        b.barrier()  # pc 2
+        with b.for_("t", 1, 4):  # pc 3
+            b.set(A[1], 2)  # pc 4
+            b.barrier()  # pc 5
+        b.set(A[2], 3)  # pc 6
+    return b.build()
+
+
+class TestCfgRegions:
+    def test_straightline_regions(self):
+        p = straightline_program()
+        regions = build_cfg(p).epoch_regions()
+        b1, b2 = barrier_pcs(p)
+        assert regions[(-1, b1)] == {1}
+        assert regions[(b1, b2)] == {3}
+        assert regions[(b2, -1)] == {5}
+
+    def test_loop_barrier_regions(self):
+        p = loop_barrier_program()
+        regions = build_cfg(p).epoch_regions()
+        b1, b2 = barrier_pcs(p)
+        loop_pc = p.function("main").body[2].pc
+        # Epoch between the pre-loop barrier and the in-loop barrier contains
+        # the loop header and the work statement.
+        assert regions[(b1, b2)] >= {loop_pc, loop_pc + 1}
+        # The in-loop barrier can close at itself (next iteration)...
+        assert (b2, b2) in regions
+        # ...or run off the end of the program.
+        assert regions[(b2, -1)] >= {p.function("main").body[3].pc}
+
+    def test_call_spanning_region(self):
+        b = ProgramBuilder("calls")
+        A = b.shared("A", (4,))
+        with b.function("work"):
+            b.set(A[1], 1)
+        with b.function("main"):
+            b.barrier()
+            b.call("work")
+            b.barrier()
+        p = b.build()
+        regions = build_cfg(p).epoch_regions()
+        b1, b2 = [
+            s.pc
+            for s in walk_stmts(p.function("main").body)
+            if isinstance(s, Barrier)
+        ]
+        work_store_pc = p.function("work").body[0].pc
+        assert work_store_pc in regions[(b1, b2)]
+
+    def test_if_region(self):
+        b = ProgramBuilder("iffy")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            b.barrier()
+            with b.if_(b.param("me").eq(0)):
+                b.set(A[0], 1)
+            with b.else_():
+                b.set(A[1], 2)
+        p = b.build()
+        regions = build_cfg(p).epoch_regions()
+        b1 = barrier_pcs(p)[0]
+        region = regions[(b1, -1)]
+        stores = [
+            s.pc
+            for s in walk_stmts(p.function("main").body)
+            if type(s).__name__ == "Store"
+        ]
+        assert set(stores) <= region
+
+    def test_unnumbered_program_rejected(self):
+        from repro.lang.ast import Function, Program, Store, Const
+
+        p = Program(
+            name="raw",
+            arrays={},
+            functions={
+                "main": Function("main", (), [Store("A", (Const(0),), Const(1))])
+            },
+        )
+        with pytest.raises(LangError):
+            build_cfg(p)
+
+
+class TestStmtIndex:
+    def test_locate_in_nested_loops(self):
+        b = ProgramBuilder("nest")
+        A = b.shared("A", (8, 8))
+        with b.function("main"):
+            with b.for_("i", 0, 7) as i:
+                with b.for_("j", 0, 7) as j:
+                    b.set(A[i, j], 0)
+        p = b.build()
+        index = StmtIndex(p)
+        store_pc = p.function("main").body[0].body[0].body[0].pc
+        loc = index.locate(store_pc)
+        assert [loop.var for loop in loc.loops] == ["i", "j"]
+        assert loc.func == "main"
+        assert loc.index == 0
+
+    def test_locate_missing_pc(self):
+        p = straightline_program()
+        with pytest.raises(LangError):
+            StmtIndex(p).locate(9999)
+
+
+class TestExprAnalysis:
+    def test_expr_locals_and_params(self):
+        e = Bin("+", Local("i"), Bin("*", Param("N"), Local("j")))
+        assert expr_locals(e) == {"i", "j"}
+        assert expr_params(e) == {"N"}
+
+    def test_match_loop_index(self):
+        loop = For(var="i", lo=Const(0), hi=Const(7), body=[])
+        assert match_loop_index(Local("i"), loop) == 0
+        assert match_loop_index(Bin("+", Local("i"), Const(2)), loop) == 2
+        assert match_loop_index(Bin("-", Local("i"), Const(1)), loop) == -1
+        assert match_loop_index(Bin("+", Const(3), Local("i")), loop) == 3
+        assert match_loop_index(Local("j"), loop) is None
+        assert match_loop_index(Bin("*", Local("i"), Const(2)), loop) is None
+
+    def test_is_invariant(self):
+        loop = For(var="i", lo=Const(0), hi=Const(7), body=[])
+        assert is_invariant(Bin("+", Local("k"), Param("N")), loop)
+        assert not is_invariant(Bin("+", Local("i"), Const(1)), loop)
+
+    def test_const_value(self):
+        assert const_value(Const(4)) == 4
+        assert const_value(Const(2.0)) == 2
+        assert const_value(Const(2.5)) is None
+        assert const_value(Local("i")) is None
+
+
+class TestTransforms:
+    def test_clone_preserves_pcs_and_isolates(self):
+        p = straightline_program()
+        q = clone_program(p)
+        assert count_stmts(q) == count_stmts(p)
+        p_pcs = [s.pc for s in walk_stmts(p.function("main").body)]
+        q_pcs = [s.pc for s in walk_stmts(q.function("main").body)]
+        assert p_pcs == q_pcs
+        q.function("main").body.pop()
+        assert count_stmts(p) == 5
+
+    def test_insert_before_and_after(self):
+        from repro.lang.ast import Comment
+
+        p = straightline_program()
+        index = StmtIndex(p)
+        insert_before(p, index, pc=3, new=[Comment("pre")])
+        index = StmtIndex(p)
+        insert_after(p, index, pc=3, new=[Comment("post")])
+        text = unparse_program(p)
+        lines = [line.strip() for line in text.splitlines()]
+        at = lines.index("A[1] = 2")
+        assert lines[at - 1] == "/*** pre ***/"
+        assert lines[at + 1] == "/*** post ***/"
+
+    def test_inserted_stmts_get_fresh_pcs(self):
+        from repro.lang.ast import Comment
+
+        p = straightline_program()
+        old_max = p.max_pc
+        insert_at_function_start(p, "main", [Comment("head")])
+        insert_at_function_end(p, "main", [Comment("tail")])
+        pcs = [s.pc for s in walk_stmts(p.function("main").body)]
+        assert len(set(pcs)) == len(pcs)
+        assert p.max_pc == old_max + 2
+
+    def test_insert_into_loop_body(self):
+        from repro.lang.ast import Comment
+
+        p = loop_barrier_program()
+        index = StmtIndex(p)
+        work_pc = 4
+        insert_before(p, index, work_pc, [Comment("in-loop")])
+        text = unparse_program(p)
+        assert "/*** in-loop ***/" in text

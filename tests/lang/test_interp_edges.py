@@ -1,0 +1,149 @@
+"""Interpreter edge cases: clipping, errors, impure control flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InterpError
+from repro.lang.ast import AnnotKind
+from repro.lang.builder import ProgramBuilder
+from repro.lang.interp import Interpreter, SharedStore
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+
+
+def run(program, nodes=1, params_fn=None):
+    cfg = MachineConfig(num_nodes=nodes, cache_size=1024, block_size=32, assoc=2)
+    store = SharedStore(program, block_size=32)
+    interp = Interpreter(program, store, params_fn=params_fn)
+    result = Machine(cfg).run(interp.kernel)
+    return result, store
+
+
+class TestAnnotationClipping:
+    def test_out_of_range_annotation_is_ignored(self):
+        b = ProgramBuilder("clip")
+        A = b.shared("A", (8,))
+        with b.function("main"):
+            b.check_out_x(b.target(A, b.range(6, 12)))  # clipped to 6..7
+            b.check_in(b.target(A, b.range(20, 30)))  # entirely out: no-op
+        result, _ = run(b.build())
+        assert result.stats.checkouts == 1  # one block (elements 4..7)
+        assert result.stats.checkins == 0
+
+    def test_negative_range_clipped(self):
+        b = ProgramBuilder("clip2")
+        A = b.shared("A", (8,))
+        with b.function("main"):
+            b.check_out_s(b.target(A, b.range(-4, 2)))
+        result, _ = run(b.build())
+        assert result.stats.checkouts == 1
+
+    def test_zero_step_range_raises(self):
+        b = ProgramBuilder("clip3")
+        A = b.shared("A", (8,))
+        with b.function("main"):
+            b.check_out_s(b.target(A, b.range(0, 7, step=0)))
+        with pytest.raises(InterpError):
+            run(b.build())
+
+
+class TestControlFlowEdges:
+    def test_shared_load_in_if_condition(self):
+        b = ProgramBuilder("sharedcond")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            b.set(A[0], 1)
+            with b.if_(A[0] > 0):
+                b.set(A[1], 5)
+        _, store = run(b.build())
+        assert store.array("A")[1] == 5
+
+    def test_shared_load_in_while_condition(self):
+        b = ProgramBuilder("whilecond")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            b.set(A[0], 3)
+            with b.while_(A[0] > 0):
+                b.set(A[0], A[0] - 1)
+        _, store = run(b.build())
+        assert store.array("A")[0] == 0
+
+    def test_for_with_zero_iterations(self):
+        b = ProgramBuilder("empty")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            with b.for_("i", 5, 2) as i:
+                b.set(A[0], 99)
+        _, store = run(b.build())
+        assert store.array("A")[0] == 0
+
+    def test_shared_load_in_loop_bound_rejected(self):
+        b = ProgramBuilder("badbound")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            with b.for_("i", 0, A[0]) as i:
+                b.set(A[1], 1)
+        with pytest.raises(InterpError):
+            run(b.build())
+
+    def test_call_arity_mismatch(self):
+        b = ProgramBuilder("arity")
+        A = b.shared("A", (4,))
+        with b.function("helper", params=("x", "y")):
+            b.set(A[0], b.var("x") + b.var("y"))
+        with b.function("main"):
+            b.call("helper", 1)
+        with pytest.raises(InterpError):
+            run(b.build())
+
+    def test_division_by_zero(self):
+        b = ProgramBuilder("divzero")
+        A = b.shared("A", (4,))
+        with b.function("main"):
+            b.set(A[0], 1 / (b.param("me") * 1))  # 1/0 on node 0
+        with pytest.raises(InterpError):
+            run(b.build())
+
+    def test_nested_function_frames_isolate_locals(self):
+        b = ProgramBuilder("frames")
+        A = b.shared("A", (4,))
+        with b.function("inner", params=("t",)):
+            b.let("t", b.var("t") + 100)
+            b.set(A[1], b.var("t"))
+        with b.function("main"):
+            b.let("t", 5)
+            b.call("inner", b.var("t"))
+            b.set(A[0], b.var("t"))  # unchanged by the callee
+        _, store = run(b.build())
+        assert store.array("A")[0] == 5
+        assert store.array("A")[1] == 105
+
+
+class TestSharedStore:
+    def test_as_ndarray_orders(self):
+        import numpy as np
+
+        b = ProgramBuilder("orders")
+        C = b.shared("C", (2, 3), order="C")
+        F = b.shared("F", (2, 3), order="F")
+        with b.function("main"):
+            b.set(C[1, 2], 7)
+            b.set(F[1, 2], 9)
+        _, store = run(b.build())
+        assert store.as_ndarray("C")[1, 2] == 7
+        assert store.as_ndarray("F")[1, 2] == 9
+        assert store.as_ndarray("C").shape == (2, 3)
+        assert store.as_ndarray("F").shape == (2, 3)
+
+    def test_labels_match_declared_layout(self):
+        b = ProgramBuilder("labels")
+        A = b.shared("A", (4, 4), order="F")
+        with b.function("main"):
+            b.set(A[0, 0], 1)
+        program = b.build()
+        store = SharedStore(program, block_size=32)
+        label = store.label("A")
+        assert label.order == "F"
+        # Column-major adjacency: (1,0) follows (0,0).
+        assert label.addr_of((1, 0)) - label.addr_of((0, 0)) == 8

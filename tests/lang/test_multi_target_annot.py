@@ -1,0 +1,89 @@
+"""Multi-target annotations and remaining builder/unparse corners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LangError
+from repro.harness.runner import run_program
+from repro.lang.builder import ProgramBuilder
+from repro.lang.parse import parse_program
+from repro.lang.unparse import unparse_program
+from repro.machine.config import MachineConfig
+
+
+def run(program, nodes=1):
+    cfg = MachineConfig(num_nodes=nodes, cache_size=1024, block_size=32,
+                        assoc=2)
+    return run_program(program, cfg)
+
+
+class TestMultiTargetAnnotations:
+    def build(self):
+        b = ProgramBuilder("multi")
+        A = b.shared("A", (8,))
+        B = b.shared("B", (8,))
+        with b.function("main"):
+            b.check_out_x(
+                b.target(A, b.range(0, 7)),
+                b.target(B, b.range(0, 7)),
+            )
+            b.check_in(A[0], B[0])
+        return b.build()
+
+    def test_single_directive_covers_both_arrays(self):
+        result, _ = run(self.build())
+        # 2 blocks of A + 2 blocks of B in one check-out directive.
+        assert result.stats.checkouts == 4
+        assert result.stats.checkins == 2
+
+    def test_unparse_joins_targets(self):
+        text = unparse_program(self.build())
+        assert "check_out_X A[0:7], B[0:7]" in text
+        assert "check_in A[0], B[0]" in text
+
+    def test_parse_round_trips_multi_targets(self):
+        program = self.build()
+        text = unparse_program(program)
+        reparsed = parse_program(text, program)
+        assert unparse_program(reparsed) == text
+
+    def test_annotation_on_private_array_rejected_at_runtime(self):
+        from repro.errors import InterpError
+
+        b = ProgramBuilder("priv")
+        P = b.private("P", (8,))
+        b.shared("A", (8,))
+        with b.function("main"):
+            b.check_in(b.target(P, b.range(0, 7)))
+        with pytest.raises(InterpError):
+            run(b.build())
+
+
+class TestBuilderCorners:
+    def test_target_on_undeclared_array(self):
+        b = ProgramBuilder("x")
+        with b.function("main"):
+            with pytest.raises(LangError):
+                b.target("GHOST", 0)
+
+    def test_set_requires_element(self):
+        b = ProgramBuilder("x")
+        b.shared("A", (4,))
+        with b.function("main"):
+            with pytest.raises(LangError):
+                b.set("not an element", 1)
+
+    def test_duplicate_function_rejected(self):
+        b = ProgramBuilder("x")
+        with b.function("main"):
+            pass
+        with pytest.raises(LangError):
+            with b.function("main"):
+                pass
+
+    def test_build_inside_open_block_rejected(self):
+        b = ProgramBuilder("x")
+        with pytest.raises(LangError):
+            with b.function("main"):
+                b.build()

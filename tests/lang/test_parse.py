@@ -1,0 +1,232 @@
+"""Tests for the pseudocode parser, including unparse/parse round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LangError
+from repro.lang.ast import (
+    Annot,
+    AnnotKind,
+    Assign,
+    Barrier,
+    Bin,
+    Comment,
+    Const,
+    For,
+    If,
+    Load,
+    Local,
+    LockStmt,
+    Param,
+    RangeSpec,
+    Store,
+    While,
+)
+from repro.lang.builder import ProgramBuilder
+from repro.lang.parse import parse_program
+from repro.lang.unparse import unparse_program
+
+DECLS = {}
+
+
+def decls_for(*names, shape=(16,)):
+    from repro.lang.ast import ArrayDecl
+
+    return {name: ArrayDecl(name, shape) for name in names}
+
+
+def parse_main(text, arrays=("A",), params=None, shape=(16,)):
+    program = parse_program(
+        text, decls_for(*arrays, shape=shape), params=params or set()
+    )
+    return program.function("main").body
+
+
+class TestStatements:
+    def test_assign_and_store(self):
+        body = parse_main("t = 3\nA[t] = t + 1\n")
+        assert body[0] == Assign("t", Const(3), pc=1)
+        assert isinstance(body[1], Store)
+        assert body[1].indices == (Local("t"),)
+
+    def test_for_loop_with_step(self):
+        body = parse_main("for i = 1 to 15 step 2 do\n  A[i] = i\nod\n")
+        loop = body[0]
+        assert isinstance(loop, For)
+        assert loop.step == Const(2)
+        assert isinstance(loop.body[0], Store)
+
+    def test_while(self):
+        body = parse_main("n = 0\nwhile n < 5 do\n  n = n + 1\nod\n")
+        assert isinstance(body[1], While)
+
+    def test_if_else(self):
+        text = "if me == 0 then\n  t = 1\nelse\n  t = 2\nfi\n"
+        body = parse_main(text, params={"me"})
+        stmt = body[0]
+        assert isinstance(stmt, If)
+        assert stmt.cond == Bin("==", Param("me"), Const(0))
+        assert len(stmt.then) == 1 and len(stmt.els) == 1
+
+    def test_barrier_with_label(self):
+        body = parse_main("barrier  /* sync_point */\n")
+        assert body[0] == Barrier(label="sync_point", pc=1)
+
+    def test_lock_unlock(self):
+        body = parse_main("lock A[3]\nunlock A[3]\n")
+        assert isinstance(body[0], LockStmt)
+        assert body[0].indices == (Const(3),)
+
+    def test_comment(self):
+        body = parse_main("/*** Data Race on A[0] ***/\n")
+        assert body[0] == Comment(text="Data Race on A[0]", pc=1)
+
+    def test_annotations_with_ranges(self):
+        body = parse_main(
+            "check_out_X A[1:15:2]\ncheck_in A[Lo:Hi]\nprefetch_S A[3]\n",
+            params={"Lo", "Hi"},
+        )
+        co = body[0]
+        assert isinstance(co, Annot) and co.kind is AnnotKind.CHECK_OUT_X
+        spec = co.targets[0].specs[0]
+        assert spec == RangeSpec(Const(1), Const(15), Const(2))
+        ci = body[1]
+        assert ci.targets[0].specs[0] == RangeSpec(Param("Lo"), Param("Hi"))
+        assert body[2].kind is AnnotKind.PREFETCH_S
+
+    def test_call(self):
+        program = parse_program(
+            "func init(v):\n    t = v\n\nfunc main():\n    call init(3)\n",
+            decls_for("A"),
+        )
+        stmt = program.function("main").body[0]
+        assert stmt.func == "init" and stmt.args == (Const(3),)
+
+    def test_intrinsics_and_minmax(self):
+        body = parse_main("t = sqrt(4) + min(1, 2) * abs(-3)\n")
+        assert isinstance(body[0], Assign)
+
+    def test_indirect_index(self):
+        body = parse_main("A[A[0]] = 1\n")
+        store = body[0]
+        assert store.indices == (Load("A", (Const(0),)),)
+
+
+class TestErrors:
+    def test_unterminated_loop(self):
+        with pytest.raises(LangError):
+            parse_main("for i = 0 to 3 do\n  A[i] = 1\n")
+
+    def test_garbage_token(self):
+        with pytest.raises(LangError):
+            parse_main("t = $$\n")
+
+    def test_no_main(self):
+        with pytest.raises(LangError):
+            parse_program("func helper():\n    t = 1\n", decls_for("A"))
+
+    def test_bare_statements_plus_main_conflict(self):
+        with pytest.raises(LangError):
+            parse_program(
+                "t = 1\nfunc main():\n    t = 2\n", decls_for("A")
+            )
+
+    def test_lock_requires_element(self):
+        with pytest.raises(LangError):
+            parse_main("lock t\n")
+
+
+class TestRoundTrip:
+    """unparse(parse(unparse(p))) is identity on the whole workload suite."""
+
+    def roundtrip(self, program):
+        text = unparse_program(program)
+        reparsed = parse_program(text, program, name=program.name)
+        assert unparse_program(reparsed) == text
+        return reparsed
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("matmul", dict(n=16, num_nodes=4)),
+            ("matmul_racing", dict(n=8, num_nodes=4)),
+            ("matmul_restructured", dict(n=8, num_nodes=4)),
+            ("ocean", dict(n=16, steps=2, num_nodes=8, cache_size=4096)),
+            ("mp3d", dict(nparticles=64, ncells=32, steps=2, num_nodes=4)),
+            ("barnes", dict(nbodies=64, ntree=32, nlist=4, steps=2,
+                            num_nodes=4)),
+            ("tomcatv", dict(n=16, rows_per_node=8, steps=2, num_nodes=4)),
+            ("jacobi", dict(n=8, steps=2, num_nodes=4)),
+            ("jacobi", dict(n=8, steps=2, num_nodes=4,
+                            variant="cico_column")),
+        ],
+    )
+    def test_workloads_round_trip(self, name, kwargs):
+        from repro.workloads.base import get_workload
+
+        self.roundtrip(get_workload(name, **kwargs).program)
+
+    def test_annotated_program_round_trips(self):
+        from repro.cachier.annotator import Cachier, Policy
+        from repro.harness.runner import trace_program
+        from repro.workloads.matmul_racing import make
+
+        spec = make()
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+        cachier = Cachier(spec.program, trace, params_fn=spec.params_fn,
+                          cache_size=spec.cachier_cache_size)
+        annotated = cachier.annotate(Policy.PROGRAMMER).program
+        self.roundtrip(annotated)
+
+    def test_reparsed_program_runs_identically(self):
+        from repro.harness.runner import run_program
+        from repro.workloads.matmul import make
+        import numpy as np
+
+        spec = make(n=16, num_nodes=4)
+        text = unparse_program(spec.program)
+        reparsed = parse_program(text, spec.program)
+        r1, s1 = run_program(spec.program, spec.config, spec.params_fn)
+        r2, s2 = run_program(reparsed, spec.config, spec.params_fn)
+        assert r1.cycles == r2.cycles
+        for name in s1.values:
+            assert np.array_equal(s1.values[name], s2.values[name])
+
+
+class TestInlineDeclarations:
+    def test_self_describing_round_trip(self):
+        from repro.workloads.matmul_racing import make
+
+        program = make().program
+        text = unparse_program(program, declarations=True)
+        assert text.startswith("array A[8, 8] elem=8 order=C")
+        reparsed = parse_program(
+            text, params={"Lkp", "Ukp", "Ljp", "Ujp", "N"}
+        )
+        assert reparsed.arrays == program.arrays
+        assert unparse_program(reparsed) == unparse_program(program)
+
+    def test_private_arrays_declared(self):
+        from repro.workloads.matmul_restructured import make
+
+        program = make().program
+        text = unparse_program(program, declarations=True)
+        assert "array Cp[8, 8] elem=8 order=C private" in text
+        reparsed = parse_program(
+            text, params={"Lkp", "Ukp", "Ljp", "Ujp"}
+        )
+        assert reparsed.arrays["Cp"].private
+
+    def test_missing_declarations_rejected(self):
+        with pytest.raises(LangError):
+            parse_program("t = 1\n", arrays=None)
+
+    def test_malformed_declaration_rejected(self):
+        with pytest.raises(LangError):
+            parse_program("array Broken(8)\nt = 1\n", arrays=None)
+
+    def test_f_order_declaration(self):
+        text = "array U[4, 4] elem=8 order=F\n\nU[0, 0] = 1\n"
+        program = parse_program(text, arrays=None)
+        assert program.arrays["U"].order == "F"

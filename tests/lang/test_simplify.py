@@ -1,0 +1,101 @@
+"""Tests for expression simplification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import Bin, Const, Load, Local, Param, RangeSpec, Un
+from repro.lang.simplify import simplify_expr, simplify_spec
+from repro.lang.unparse import expr_str
+
+
+class TestFolding:
+    @pytest.mark.parametrize(
+        "expr,expect",
+        [
+            (Bin("+", Const(0), Const(1)), "1"),
+            (Bin("+", Bin("+", Const(0), Local("i")), Const(0)), "i"),
+            (Bin("-", Local("i"), Const(0)), "i"),
+            (Bin("*", Const(1), Param("N")), "N"),
+            (Bin("*", Param("N"), Const(0)), "0"),
+            (Bin("+", Const(31), Const(1)), "32"),
+            (Un("neg", Const(4)), "-4"),
+            (Bin("min", Const(3), Const(7)), "3"),
+        ],
+    )
+    def test_rules(self, expr, expect):
+        assert expr_str(simplify_expr(expr)) == expect
+
+    def test_int_preserved(self):
+        folded = simplify_expr(Bin("+", Const(2), Const(3)))
+        assert folded == Const(5) and isinstance(folded.value, int)
+
+    def test_division_by_zero_left_alone(self):
+        expr = Bin("//", Const(1), Const(0))
+        assert simplify_expr(expr) == expr
+
+    def test_nested_load_indices_simplified(self):
+        expr = Load("A", (Bin("+", Local("i"), Const(0)),))
+        assert simplify_expr(expr) == Load("A", (Local("i"),))
+
+    def test_range_spec(self):
+        spec = RangeSpec(
+            lo=Bin("+", Const(0), Const(1)),
+            hi=Bin("+", Const(31), Const(1)),
+        )
+        out = simplify_spec(spec)
+        assert out.lo == Const(1) and out.hi == Const(32)
+
+
+leaf = st.one_of(
+    st.integers(-5, 5).map(Const),
+    st.just(Local("i")),
+    st.just(Param("N")),
+)
+
+
+def trees(depth):
+    if depth == 0:
+        return leaf
+    sub = trees(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "min", "max"]), sub, sub)
+        .map(lambda t: Bin(*t)),
+    )
+
+
+class TestValuePreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(trees(4), st.integers(-4, 4), st.integers(-4, 4))
+    def test_simplify_preserves_value(self, expr, i, n):
+        env = {"i": i, "N": n}
+
+        def ev(e):
+            if isinstance(e, Const):
+                return e.value
+            if isinstance(e, (Local, Param)):
+                return env[e.name]
+            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                   "*": lambda a, b: a * b, "min": min, "max": max}
+            return ops[e.op](ev(e.left), ev(e.right))
+
+        assert ev(simplify_expr(expr)) == ev(expr)
+
+
+class TestAnnotatorIntegration:
+    def test_hoisted_offsets_print_folded(self):
+        """Ocean's hoisted stencil offsets must not print as `0 + 1`."""
+        from repro.cachier.annotator import Cachier, Policy
+        from repro.harness.runner import trace_program
+        from repro.lang.unparse import unparse_program
+        from repro.workloads.ocean import make
+
+        w = make(n=16, steps=2, num_nodes=8, cache_size=4096)
+        trace = trace_program(w.program, w.config, w.params_fn)
+        cachier = Cachier(w.program, trace, params_fn=w.params_fn,
+                          cache_size=w.cachier_cache_size)
+        text = unparse_program(cachier.annotate(Policy.PROGRAMMER).program)
+        assert "0 + 1" not in text
+        assert "31 + 1" not in text

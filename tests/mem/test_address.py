@@ -1,0 +1,52 @@
+"""Tests for address / cache-block arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import block_base, block_of, blocks_covering, check_power_of_two
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 32, 1024])
+    def test_accepts_powers(self, good):
+        assert check_power_of_two(good) == good
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 33])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(AddressError):
+            check_power_of_two(bad)
+
+
+class TestBlockMath:
+    def test_block_of(self):
+        assert block_of(0, 32) == 0
+        assert block_of(31, 32) == 0
+        assert block_of(32, 32) == 1
+
+    def test_block_of_negative_raises(self):
+        with pytest.raises(AddressError):
+            block_of(-1, 32)
+
+    def test_block_base_inverts(self):
+        assert block_base(block_of(100, 32), 32) == 96
+
+    def test_blocks_covering_within_one_block(self):
+        assert list(blocks_covering(0, 8, 32)) == [0]
+
+    def test_blocks_covering_straddles(self):
+        assert list(blocks_covering(30, 8, 32)) == [0, 1]
+
+    def test_blocks_covering_exact_blocks(self):
+        assert list(blocks_covering(64, 64, 32)) == [2, 3]
+
+    def test_blocks_covering_zero_raises(self):
+        with pytest.raises(AddressError):
+            blocks_covering(0, 0, 32)
+
+    @given(st.integers(0, 10**6), st.integers(1, 512))
+    def test_block_of_consistent_with_base(self, addr, nbytes):
+        blk = block_of(addr, 64)
+        assert block_base(blk, 64) <= addr < block_base(blk + 1, 64)

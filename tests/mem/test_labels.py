@@ -1,0 +1,183 @@
+"""Tests for labelled regions (address <-> program-variable mapping)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LabelError
+from repro.mem.labels import ArrayLabel, LabelTable, VarRef
+from repro.mem.layout import AddressSpace
+
+
+def make_label(shape, elem_size=8, order="C", name="A", space=None):
+    space = space or AddressSpace(block_size=32)
+    from math import prod
+
+    region = space.allocate(name, prod(shape) * elem_size)
+    return ArrayLabel(region=region, shape=shape, elem_size=elem_size, order=order)
+
+
+class TestValidation:
+    def test_shape_too_big_for_region(self):
+        space = AddressSpace(block_size=32)
+        region = space.allocate("A", 32)
+        with pytest.raises(LabelError):
+            ArrayLabel(region=region, shape=(100,), elem_size=8)
+
+    def test_bad_order(self):
+        space = AddressSpace()
+        region = space.allocate("A", 64)
+        with pytest.raises(LabelError):
+            ArrayLabel(region=region, shape=(8,), elem_size=8, order="X")
+
+    @pytest.mark.parametrize("shape", [(), (0,), (4, -1)])
+    def test_bad_shape(self, shape):
+        space = AddressSpace()
+        region = space.allocate("A", 64)
+        with pytest.raises(LabelError):
+            ArrayLabel(region=region, shape=shape, elem_size=8)
+
+
+class TestIndexing1D:
+    def test_addr_of(self):
+        lab = make_label((10,))
+        assert lab.addr_of((0,)) == lab.region.base
+        assert lab.addr_of((3,)) == lab.region.base + 24
+
+    def test_ref_of_roundtrip(self):
+        lab = make_label((10,))
+        for i in range(10):
+            assert lab.ref_of(lab.addr_of((i,))) == VarRef("A", (i,))
+
+    def test_out_of_bounds(self):
+        lab = make_label((10,))
+        with pytest.raises(LabelError):
+            lab.addr_of((10,))
+        with pytest.raises(LabelError):
+            lab.addr_of((-1,))
+
+    def test_wrong_arity(self):
+        lab = make_label((10,))
+        with pytest.raises(LabelError):
+            lab.addr_of((1, 2))
+
+
+class TestIndexing2D:
+    def test_row_major(self):
+        lab = make_label((4, 6), order="C")
+        assert lab.flat_index((1, 2)) == 1 * 6 + 2
+
+    def test_column_major(self):
+        lab = make_label((4, 6), order="F")
+        assert lab.flat_index((1, 2)) == 2 * 4 + 1
+
+    @given(st.integers(0, 3), st.integers(0, 5))
+    def test_roundtrip_c(self, i, j):
+        lab = make_label((4, 6), order="C")
+        assert lab.unflatten(lab.flat_index((i, j))) == (i, j)
+
+    @given(st.integers(0, 3), st.integers(0, 5))
+    def test_roundtrip_f(self, i, j):
+        lab = make_label((4, 6), order="F")
+        assert lab.unflatten(lab.flat_index((i, j))) == (i, j)
+
+    def test_column_major_adjacency(self):
+        # In column-major order consecutive rows of one column are adjacent.
+        lab = make_label((8, 8), order="F")
+        a0 = lab.addr_of((0, 3))
+        a1 = lab.addr_of((1, 3))
+        assert a1 - a0 == lab.elem_size
+
+
+class TestLabelTable:
+    def test_resolve_across_labels(self):
+        space = AddressSpace(block_size=32)
+        table = LabelTable()
+        a = make_label((8,), name="A", space=space)
+        b = make_label((4, 4), name="B", space=space)
+        table.add(a)
+        table.add(b)
+        assert table.resolve(a.addr_of((5,))) == VarRef("A", (5,))
+        assert table.resolve(b.addr_of((2, 3))) == VarRef("B", (2, 3))
+
+    def test_duplicate_rejected(self):
+        table = LabelTable()
+        table.add(make_label((4,)))
+        with pytest.raises(LabelError):
+            table.add(make_label((4,)))
+
+    def test_unlabelled_address(self):
+        table = LabelTable()
+        table.add(make_label((4,)))
+        with pytest.raises(LabelError):
+            table.resolve(0)
+
+    def test_find_returns_none_for_gap(self):
+        table = LabelTable()
+        lab = make_label((4,))
+        table.add(lab)
+        assert table.find(lab.region.end + 1000) is None
+        assert table.find(lab.region.base) is lab
+
+    def test_get_and_contains(self):
+        table = LabelTable()
+        lab = make_label((4,))
+        table.add(lab)
+        assert table.get("A") is lab
+        assert "A" in table and "Z" not in table
+        with pytest.raises(LabelError):
+            table.get("Z")
+        assert table.names() == ("A",)
+
+    def test_padding_bytes_resolve_fails(self):
+        # Region rounded up to blocks: tail padding is not a valid element.
+        space = AddressSpace(block_size=32)
+        region = space.allocate("A", 8)  # rounds to 32
+        lab = ArrayLabel(region=region, shape=(1,), elem_size=8)
+        table = LabelTable()
+        table.add(lab)
+        with pytest.raises(LabelError):
+            table.resolve(region.base + 16)
+
+
+class TestLabelProperties:
+    """Property coverage: address mapping is a bijection for any geometry."""
+
+    @given(
+        st.lists(st.integers(1, 6), min_size=1, max_size=3),
+        st.sampled_from(["C", "F"]),
+        st.sampled_from([4, 8]),
+    )
+    def test_flat_roundtrip_any_geometry(self, shape, order, elem):
+        from math import prod
+
+        space = AddressSpace(block_size=32)
+        region = space.allocate("A", prod(shape) * elem)
+        lab = ArrayLabel(region=region, shape=tuple(shape), elem_size=elem,
+                         order=order)
+        seen = set()
+        for flat in range(lab.num_elements):
+            idx = lab.unflatten(flat)
+            assert lab.flat_index(idx) == flat
+            addr = lab.addr_of(idx)
+            assert addr not in seen  # injective
+            seen.add(addr)
+            assert lab.ref_of(addr).indices == idx
+
+    @given(
+        st.lists(st.integers(1, 5), min_size=2, max_size=2),
+        st.sampled_from(["C", "F"]),
+    )
+    def test_fastest_varying_dimension_is_contiguous(self, shape, order):
+        from math import prod
+
+        space = AddressSpace(block_size=32)
+        region = space.allocate("A", prod(shape) * 8)
+        lab = ArrayLabel(region=region, shape=tuple(shape), elem_size=8,
+                         order=order)
+        rows, cols = shape
+        if order == "C" and cols >= 2:
+            assert lab.addr_of((0, 1)) - lab.addr_of((0, 0)) == 8
+        if order == "F" and rows >= 2:
+            assert lab.addr_of((1, 0)) - lab.addr_of((0, 0)) == 8

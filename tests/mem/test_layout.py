@@ -1,0 +1,74 @@
+"""Tests for the shared address-space allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.mem.layout import AddressSpace, SHARED_BASE
+
+
+class TestAllocate:
+    def test_first_region_at_base(self):
+        space = AddressSpace(block_size=32)
+        r = space.allocate("A", 100)
+        assert r.base == SHARED_BASE
+        assert r.nbytes == 128  # rounded to whole blocks
+
+    def test_regions_contiguous_and_disjoint(self):
+        space = AddressSpace(block_size=32)
+        a = space.allocate("A", 32)
+        b = space.allocate("B", 33)
+        assert b.base == a.end
+        assert not a.contains(b.base)
+        assert b.contains(b.base)
+        assert not b.contains(b.end)
+
+    def test_block_alignment(self):
+        space = AddressSpace(block_size=64)
+        space.allocate("A", 1)
+        b = space.allocate("B", 1)
+        assert b.base % 64 == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("A", 8)
+        with pytest.raises(LayoutError):
+            space.allocate("A", 8)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(LayoutError):
+            AddressSpace().allocate("A", 0)
+
+    def test_bad_block_size_rejected(self):
+        from repro.errors import AddressError
+
+        with pytest.raises(AddressError):
+            AddressSpace(block_size=48)
+
+
+class TestLookup:
+    def test_region_by_name(self):
+        space = AddressSpace()
+        r = space.allocate("A", 8)
+        assert space.region("A") is r
+
+    def test_unknown_name(self):
+        with pytest.raises(LayoutError):
+            AddressSpace().region("missing")
+
+    def test_find_by_address(self):
+        space = AddressSpace(block_size=32)
+        a = space.allocate("A", 32)
+        b = space.allocate("B", 32)
+        assert space.find(a.base) is a
+        assert space.find(b.base + 31) is b
+        assert space.find(b.end) is None
+        assert space.find(0) is None
+
+    def test_bytes_allocated(self):
+        space = AddressSpace(block_size=32)
+        space.allocate("A", 10)
+        space.allocate("B", 40)
+        assert space.bytes_allocated == 32 + 64
+        assert len(space.regions()) == 2

@@ -1,0 +1,154 @@
+"""Stateful property test: Dir1SW against an abstract coherence model.
+
+Hypothesis drives random operation sequences against the protocol engine
+and, in lock-step, against a tiny reference model of single-writer /
+multi-reader coherence.  After every step the two must agree on who holds
+which block in which state, and the protocol's own cross-invariants must
+hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cache.state import LineState
+from repro.coherence.costs import CostModel
+from repro.coherence.fullmap import FullMapProtocol
+from repro.coherence.protocol import Dir1SWProtocol
+
+NODES = 3
+BLOCKS = 6  # few blocks: lots of interaction, and they fit every cache
+
+
+class _Reference:
+    """Single-writer/multi-reader ground truth, ignoring capacity."""
+
+    def __init__(self):
+        self.readers: dict[int, set[int]] = {}
+        self.owner: dict[int, int | None] = {}
+
+    def read(self, node, block):
+        owner = self.owner.get(block)
+        if owner is not None and owner != node:
+            self.owner[block] = None
+            self.readers.setdefault(block, set()).add(owner)
+        if self.owner.get(block) == node:
+            return
+        self.readers.setdefault(block, set()).add(node)
+
+    def write(self, node, block):
+        self.readers[block] = set()
+        self.owner[block] = node
+
+    def drop(self, node, block):
+        self.readers.setdefault(block, set()).discard(node)
+        if self.owner.get(block) == node:
+            self.owner[block] = None
+
+    def drop_all(self, node):
+        for block in range(BLOCKS):
+            self.drop(node, block)
+
+    def holders(self, block) -> dict[int, str]:
+        out = {n: "S" for n in self.readers.get(block, set())}
+        owner = self.owner.get(block)
+        if owner is not None:
+            out[owner] = "X"
+        return out
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    protocol_cls = Dir1SWProtocol
+
+    @initialize()
+    def setup(self):
+        # Caches big enough that no replacement happens: the reference
+        # model has no capacity notion.
+        self.proto = self.protocol_cls(
+            NODES, cache_size=1024, block_size=32, assoc=32 // 32 * 32,
+            cost=CostModel(),
+        )
+        self.ref = _Reference()
+        self.now = 0
+
+    nodes = st.integers(0, NODES - 1)
+    blocks = st.integers(0, BLOCKS - 1)
+
+    @rule(node=nodes, block=blocks)
+    def read(self, node, block):
+        self.proto.read(node, block, self.now)
+        self.ref.read(node, block)
+        self.now += 50
+
+    @rule(node=nodes, block=blocks)
+    def write(self, node, block):
+        self.proto.write(node, block, self.now)
+        self.ref.write(node, block)
+        self.now += 50
+
+    @rule(node=nodes, block=blocks, exclusive=st.booleans())
+    def check_out(self, node, block, exclusive):
+        self.proto.check_out(node, block, exclusive, self.now)
+        if exclusive:
+            self.ref.write(node, block)  # same ownership effect, no dirty
+        else:
+            self.ref.read(node, block)
+        self.now += 50
+
+    @rule(node=nodes, block=blocks)
+    def check_in(self, node, block):
+        self.proto.check_in(node, block)
+        self.ref.drop(node, block)
+        self.now += 10
+
+    @rule(node=nodes)
+    def flush(self, node):
+        self.proto.flush_node(node)
+        self.ref.drop_all(node)
+        self.now += 10
+
+    @invariant()
+    def states_match_reference(self):
+        if not hasattr(self, "proto"):
+            return
+        for block in range(BLOCKS):
+            expected = self.ref.holders(block)
+            for node in range(NODES):
+                line = self.proto.caches[node].lookup(block)
+                want = expected.get(node)
+                if want is None:
+                    assert line is None, (node, block)
+                else:
+                    assert line is not None, (node, block, want)
+                    state = "X" if line.state is LineState.EXCLUSIVE else "S"
+                    assert state == want, (node, block, state, want)
+
+    @invariant()
+    def protocol_self_consistent(self):
+        if hasattr(self, "proto"):
+            self.proto.invariant_check()
+
+
+class Dir1SWMachine(ProtocolMachine):
+    protocol_cls = Dir1SWProtocol
+
+
+class FullMapMachine(ProtocolMachine):
+    protocol_cls = FullMapProtocol
+
+
+TestDir1SWModel = Dir1SWMachine.TestCase
+TestDir1SWModel.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestFullMapModel = FullMapMachine.TestCase
+TestFullMapModel.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

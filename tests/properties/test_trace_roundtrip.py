@@ -1,0 +1,95 @@
+"""Property test: trace files round-trip losslessly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.file_io import trace_from_string, trace_to_string
+from repro.trace.records import BarrierRecord, LabelInfo, MissKind, MissRecord, Trace
+
+miss_records = st.builds(
+    MissRecord,
+    kind=st.sampled_from(list(MissKind)),
+    addr=st.integers(0, 2**40),
+    pc=st.integers(0, 10_000),
+    node=st.integers(0, 63),
+    epoch=st.integers(0, 500),
+)
+
+barrier_records = st.builds(
+    BarrierRecord,
+    node=st.integers(0, 63),
+    barrier_pc=st.integers(0, 10_000),
+    vt=st.integers(0, 2**40),
+    epoch=st.integers(0, 500),
+)
+
+labels = st.builds(
+    LabelInfo,
+    name=st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True),
+    base=st.integers(0, 2**32).map(lambda v: v * 32),
+    nbytes=st.integers(1, 100).map(lambda v: v * 32),
+    elem_size=st.sampled_from([4, 8]),
+    order=st.sampled_from(["C", "F"]),
+    shape=st.lists(st.integers(1, 8), min_size=1, max_size=3).map(tuple),
+)
+
+
+def consistent_labels(infos):
+    """De-duplicate names and keep shapes within their regions."""
+    from math import prod
+
+    seen = set()
+    out = []
+    for info in infos:
+        if info.name in seen:
+            continue
+        if prod(info.shape) * info.elem_size > info.nbytes:
+            continue
+        seen.add(info.name)
+        out.append(info)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(miss_records, max_size=30),
+    st.lists(barrier_records, max_size=10),
+    st.lists(labels, max_size=4).map(consistent_labels),
+    st.sampled_from([16, 32, 64]),
+    st.integers(1, 64),
+)
+def test_roundtrip(misses, barriers, label_infos, block_size, num_nodes):
+    trace = Trace(
+        misses=misses,
+        barriers=barriers,
+        labels=label_infos,
+        block_size=block_size,
+        num_nodes=num_nodes,
+    )
+    back = trace_from_string(trace_to_string(trace))
+    assert back.misses == trace.misses
+    assert back.barriers == trace.barriers
+    assert back.block_size == trace.block_size
+    assert back.num_nodes == trace.num_nodes
+    assert [(l.name, l.base, l.nbytes, l.elem_size, l.order, l.shape)
+            for l in back.labels] == [
+        (l.name, l.base, l.nbytes, l.elem_size, l.order, l.shape)
+        for l in trace.labels
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(miss_records, max_size=40))
+def test_epoch_table_is_pure_function_of_trace(misses):
+    """Folding the same trace twice yields identical tables."""
+    from repro.cachier.epochs import EpochTable
+
+    trace = Trace(misses=misses, block_size=32, num_nodes=64)
+    a, b = EpochTable(trace), EpochTable(trace)
+    assert a.num_epochs == b.num_epochs
+    for epoch in range(a.num_epochs):
+        assert a.nodes_in(epoch) == b.nodes_in(epoch)
+        for node in a.nodes_in(epoch):
+            assert a.get(epoch, node).sw == b.get(epoch, node).sw
+            assert a.get(epoch, node).sr == b.get(epoch, node).sr

@@ -1,0 +1,161 @@
+"""Small-module coverage: network, stats, errors, configs, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.coherence.messages import MessageKind
+from repro.errors import (
+    CachierError,
+    InterpError,
+    LangError,
+    MachineError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+    WorkloadError,
+)
+from repro.network.model import Network
+
+
+class TestNetwork:
+    def test_hops(self):
+        net = Network(hop_latency=100)
+        assert net.hops(0) == 0
+        assert net.hops(3) == 300
+
+    def test_traffic_accounting(self):
+        net = Network()
+        net.send(MessageKind.GET_S)
+        net.send(MessageKind.ACK, 3)
+        assert net.messages(MessageKind.GET_S) == 1
+        assert net.messages(MessageKind.ACK) == 3
+        assert net.total_messages == 4
+        assert net.traffic_by_kind()[MessageKind.ACK] == 3
+        net.reset()
+        assert net.total_messages == 0
+
+
+class TestCacheStats:
+    def test_merge(self):
+        a = CacheStats(hits=2, read_misses=1)
+        b = CacheStats(hits=3, write_faults=4)
+        a.merge(b)
+        assert a.hits == 5 and a.write_faults == 4
+
+    def test_derived_properties(self):
+        s = CacheStats(hits=5, read_misses=2, write_misses=1, write_faults=3)
+        assert s.misses == 3
+        assert s.accesses == 11
+
+    def test_as_dict_roundtrip(self):
+        s = CacheStats(hits=7)
+        d = s.as_dict()
+        assert d["hits"] == 7
+        assert set(d) == set(CacheStats.__dataclass_fields__)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [CachierError, InterpError, LangError, MachineError, ProtocolError,
+         TraceError, WorkloadError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_interp_error_is_lang_error(self):
+        assert issubclass(InterpError, LangError)
+
+
+class TestMachineConfig:
+    def test_scaled_copies(self):
+        from repro.machine.config import MachineConfig
+
+        cfg = MachineConfig(num_nodes=4, cache_size=1024)
+        other = cfg.scaled(num_nodes=8)
+        assert other.num_nodes == 8
+        assert other.cache_size == 1024
+        assert cfg.num_nodes == 4  # original untouched
+
+    def test_paper_defaults(self):
+        from repro.machine.config import MachineConfig
+
+        cfg = MachineConfig()
+        assert cfg.num_nodes == 32
+        assert cfg.cache_size == 256 * 1024
+        assert cfg.block_size == 32
+        assert cfg.assoc == 4
+        assert cfg.cost.net_hop == 100  # the WWT constant
+
+
+class TestWorkloadSpec:
+    def test_annotator_cache_defaults_to_machine(self):
+        from repro.workloads.base import get_workload
+
+        w = get_workload("ocean", n=16, steps=2, num_nodes=8,
+                         cache_size=4096)
+        assert w.cachier_cache_size == 4096
+
+    def test_annotator_cache_override(self):
+        from repro.workloads.base import get_workload
+
+        w = get_workload("matmul_racing")
+        assert w.cachier_cache_size == 128
+        assert w.config.cache_size == 1024
+
+
+class TestRunResult:
+    def test_total_messages(self):
+        from repro.machine.config import MachineConfig
+        from repro.machine.events import EV_REF
+        from repro.machine.machine import Machine
+
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, 0x1000_0000, False, 1)
+
+        result = Machine(
+            MachineConfig(num_nodes=1, cache_size=1024, block_size=32,
+                          assoc=2)
+        ).run(kernel)
+        assert result.total_messages == 2  # GET_S + DATA
+
+
+class TestUnparseErrors:
+    def test_unknown_expression_rejected(self):
+        from repro.errors import UnparseError
+        from repro.lang.unparse import expr_str
+
+        class Bogus:
+            pass
+
+        with pytest.raises(UnparseError):
+            expr_str(Bogus())
+
+    def test_unknown_statement_rejected(self):
+        from repro.errors import UnparseError
+        from repro.lang.ast import Function, Program
+        from repro.lang.unparse import unparse_program
+
+        class BogusStmt:
+            pc = 1
+
+        program = Program(
+            name="x", arrays={},
+            functions={"main": Function("main", (), [BogusStmt()])},
+        )
+        with pytest.raises(UnparseError):
+            unparse_program(program)
+
+
+class TestIntervalHelpers:
+    def test_span_helpers(self):
+        from repro.util.intervals import IntervalSet
+
+        s = IntervalSet.span(3, 7)
+        assert s.min() == 3 and s.max() == 6
+        assert s.is_contiguous()

@@ -1,0 +1,107 @@
+"""Tests for training-set trace merging (the Section 4.5 alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachier.annotator import Cachier, Policy
+from repro.errors import TraceError
+from repro.harness.runner import run_program, trace_program
+from repro.trace.merge import merge_traces
+from repro.trace.records import BarrierRecord, MissKind, MissRecord, Trace
+from repro.workloads.base import get_workload
+
+
+def simple_trace(addr, epoch=0, node=0, block=32, nodes=2, barriers=()):
+    return Trace(
+        misses=[MissRecord(MissKind.READ_MISS, addr, 1, node, epoch)],
+        barriers=[BarrierRecord(n, pc, 100, ep) for n, pc, ep in barriers],
+        block_size=block,
+        num_nodes=nodes,
+    )
+
+
+class TestMergeValidation:
+    def test_empty_set_rejected(self):
+        with pytest.raises(TraceError):
+            merge_traces([])
+
+    def test_block_size_mismatch(self):
+        with pytest.raises(TraceError):
+            merge_traces([simple_trace(0, block=32),
+                          simple_trace(0, block=64)])
+
+    def test_node_count_mismatch(self):
+        with pytest.raises(TraceError):
+            merge_traces([simple_trace(0, nodes=2),
+                          simple_trace(0, nodes=4)])
+
+    def test_barrier_structure_mismatch(self):
+        a = simple_trace(0, barriers=((0, 5, 0), (1, 5, 0)))
+        b = simple_trace(0, barriers=((0, 9, 0), (1, 9, 0)))
+        with pytest.raises(TraceError):
+            merge_traces([a, b])
+
+
+class TestMergeSemantics:
+    def test_union_dedupes(self):
+        a = simple_trace(0)
+        b = simple_trace(0)
+        c = simple_trace(64)
+        merged = merge_traces([a, b, c])
+        assert len(merged.misses) == 2
+
+    def test_single_trace_identity(self):
+        a = simple_trace(0, barriers=((0, 5, 0), (1, 5, 0)))
+        merged = merge_traces([a])
+        assert merged.misses == a.misses
+        assert merged.barriers == a.barriers
+
+
+class TestTrainingSetAnnotation:
+    def test_training_set_annotation_still_correct_and_fast(self):
+        """Annotate mp3d from a 3-seed training set; evaluate on a 4th."""
+        seeds = (1, 2, 3)
+        eval_seed = 9
+        base = dict(nparticles=128, ncells=64, steps=2, num_nodes=4)
+        training = []
+        for seed in seeds:
+            spec = get_workload("mp3d", seed=seed, **base)
+            training.append(
+                trace_program(spec.program, spec.config, spec.params_fn)
+            )
+        merged = merge_traces(training)
+        eval_spec = get_workload("mp3d", seed=eval_seed, **base)
+        cachier = Cachier(
+            eval_spec.program, merged, params_fn=eval_spec.params_fn,
+            cache_size=eval_spec.cachier_cache_size,
+        )
+        annotated = cachier.annotate(Policy.PERFORMANCE).program
+        plain, _ = run_program(eval_spec.program, eval_spec.config,
+                               eval_spec.params_fn)
+        annot, _ = run_program(annotated, eval_spec.config,
+                               eval_spec.params_fn)
+        assert annot.cycles < plain.cycles
+
+    def test_training_set_close_to_single_input(self):
+        """Section 4.5's measured conclusion, from the other side: the
+        training set buys little because single-input annotations already
+        transfer (the sites are static program points)."""
+        from repro.lang.unparse import unparse_program
+
+        base = dict(nparticles=128, ncells=64, steps=2, num_nodes=4)
+        spec = get_workload("mp3d", seed=1, **base)
+        single = trace_program(spec.program, spec.config, spec.params_fn)
+        other = get_workload("mp3d", seed=2, **base)
+        merged = merge_traces([
+            single,
+            trace_program(other.program, other.config, other.params_fn),
+        ])
+        one = Cachier(spec.program, single, params_fn=spec.params_fn,
+                      cache_size=spec.cachier_cache_size)
+        many = Cachier(spec.program, merged, params_fn=spec.params_fn,
+                       cache_size=spec.cachier_cache_size)
+        text_one = unparse_program(one.annotate(Policy.PERFORMANCE).program)
+        text_many = unparse_program(many.annotate(Policy.PERFORMANCE).program)
+        assert text_one == text_many

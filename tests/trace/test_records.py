@@ -1,0 +1,63 @@
+"""Tests for trace record types and Trace queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.protocol import AccessKind
+from repro.errors import TraceError
+from repro.trace.records import BarrierRecord, MissKind, MissRecord, Trace
+
+
+def mk_trace():
+    return Trace(
+        misses=[
+            MissRecord(MissKind.READ_MISS, 100, 11, 0, 0),
+            MissRecord(MissKind.WRITE_MISS, 132, 12, 1, 0),
+            MissRecord(MissKind.WRITE_FAULT, 100, 13, 0, 1),
+        ],
+        barriers=[
+            BarrierRecord(0, 50, 1000, 0),
+            BarrierRecord(1, 50, 1000, 0),
+            BarrierRecord(0, 60, 2000, 1),
+            BarrierRecord(1, 60, 2000, 1),
+        ],
+        num_nodes=2,
+    )
+
+
+class TestMissKind:
+    def test_from_access(self):
+        assert MissKind.from_access(AccessKind.READ_MISS) is MissKind.READ_MISS
+        assert MissKind.from_access(AccessKind.WRITE_MISS) is MissKind.WRITE_MISS
+        assert MissKind.from_access(AccessKind.WRITE_FAULT) is MissKind.WRITE_FAULT
+
+    def test_hit_rejected(self):
+        with pytest.raises(TraceError):
+            MissKind.from_access(AccessKind.HIT)
+
+
+class TestTraceQueries:
+    def test_num_epochs(self):
+        assert mk_trace().num_epochs() == 2
+
+    def test_num_epochs_empty(self):
+        assert Trace().num_epochs() == 0
+
+    def test_misses_in(self):
+        t = mk_trace()
+        assert len(t.misses_in(0)) == 2
+        assert len(t.misses_in(1)) == 1
+        assert t.misses_in(9) == []
+
+    def test_barrier_pc_closing(self):
+        t = mk_trace()
+        assert t.barrier_pc_closing(0) == 50
+        assert t.barrier_pc_closing(1) == 60
+        assert t.barrier_pc_closing(7) is None
+
+    def test_static_epoch_key(self):
+        t = mk_trace()
+        assert t.static_epoch_key(0) == (-1, 50)
+        assert t.static_epoch_key(1) == (50, 60)
+        assert t.static_epoch_key(2) == (60, -1)

@@ -1,0 +1,126 @@
+"""Tests for trace statistics / sharing-degree analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.records import MissKind, MissRecord, Trace
+from repro.trace.stats import summarize
+
+BS = 32
+
+
+def trace_of(records, num_nodes=2):
+    return Trace(
+        misses=[MissRecord(kind, addr, pc, node, epoch)
+                for kind, addr, pc, node, epoch in records],
+        block_size=BS,
+        num_nodes=num_nodes,
+    )
+
+
+class TestCounts:
+    def test_kind_counts(self):
+        t = trace_of([
+            (MissKind.READ_MISS, 0, 1, 0, 0),
+            (MissKind.WRITE_MISS, 32, 2, 0, 0),
+            (MissKind.WRITE_FAULT, 64, 3, 1, 1),
+        ])
+        s = summarize(t)
+        assert s.total_misses == 3
+        assert s.miss_counts[MissKind.READ_MISS] == 1
+        assert s.per_epoch[1][MissKind.WRITE_FAULT] == 1
+
+    def test_empty_trace(self):
+        s = summarize(Trace(num_nodes=2))
+        assert s.total_misses == 0
+        assert s.shared_miss_fraction == 0.0
+        assert "0 miss records" in s.render()
+
+
+class TestSharing:
+    def test_block_sharers(self):
+        t = trace_of([
+            (MissKind.READ_MISS, 0, 1, 0, 0),
+            (MissKind.READ_MISS, 8, 2, 1, 0),  # same block, other node
+            (MissKind.READ_MISS, 64, 3, 0, 0),  # private block
+        ])
+        s = summarize(t)
+        assert s.block_sharers[0] == 2
+        assert s.block_sharers[2] == 1
+        assert s.shared_miss_fraction == pytest.approx(2 / 3)
+
+    def test_multi_writer_fraction(self):
+        t = trace_of([
+            (MissKind.WRITE_MISS, 0, 1, 0, 0),
+            (MissKind.WRITE_MISS, 0, 2, 1, 0),
+            (MissKind.WRITE_MISS, 64, 3, 0, 0),
+        ])
+        s = summarize(t)
+        assert s.multi_writer_fraction == pytest.approx(1 / 2)
+
+    def test_histogram(self):
+        t = trace_of([
+            (MissKind.READ_MISS, 0, 1, 0, 0),
+            (MissKind.READ_MISS, 0, 1, 1, 0),
+            (MissKind.READ_MISS, 64, 1, 0, 0),
+        ])
+        hist = summarize(t).sharing_degree_histogram()
+        assert hist == {2: 1, 1: 1}
+
+
+class TestWorkloadSharingRanking:
+    """Section 6's explanation of Figure 6, derived from our traces."""
+
+    @staticmethod
+    def shared_fraction(name, **kwargs):
+        from repro.harness.runner import trace_program
+        from repro.workloads.base import get_workload
+
+        w = get_workload(name, **kwargs)
+        trace = trace_program(w.program, w.config, w.params_fn)
+        return summarize(trace).shared_miss_fraction
+
+    def test_ocean_and_mp3d_most_shared_barnes_least(self):
+        ocean = self.shared_fraction("ocean", n=16, steps=2, num_nodes=8,
+                                     cache_size=4096)
+        mp3d = self.shared_fraction("mp3d", nparticles=64, ncells=32,
+                                    steps=2, num_nodes=4)
+        assert ocean > 0.5
+        assert mp3d > 0.5
+
+    def test_per_array_attribution_names_hot_structure(self):
+        from repro.harness.runner import trace_program
+        from repro.workloads.base import get_workload
+
+        w = get_workload("mp3d", nparticles=64, ncells=32, steps=2,
+                         num_nodes=4)
+        trace = trace_program(w.program, w.config, w.params_fn)
+        summary = summarize(trace)
+        assert "CELL" in summary.per_array
+        rendered = summary.render()
+        assert "per-array miss attribution" in rendered
+        assert "CELL" in rendered
+
+
+class TestStatsCli:
+    def test_workload_mode(self, capsys):
+        from repro.trace.stats import main
+
+        assert main(["--workload", "matmul_racing"]) == 0
+        out = capsys.readouterr().out
+        assert "miss records" in out
+        assert "per-array miss attribution" in out
+
+    def test_file_mode(self, tmp_path, capsys):
+        from repro.harness.runner import trace_program
+        from repro.trace.file_io import write_trace
+        from repro.trace.stats import main
+        from repro.workloads.base import get_workload
+
+        w = get_workload("matmul_racing")
+        trace = trace_program(w.program, w.config, w.params_fn)
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        assert main(["--file", str(path)]) == 0
+        assert "miss records" in capsys.readouterr().out
