@@ -27,15 +27,16 @@ def _spec_from_source(args):
     from repro.machine.config import MachineConfig
     from repro.workloads.base import WorkloadSpec
 
-    text = open(args.source, "r", encoding="utf-8").read()
+    with open(args.source, "r", encoding="utf-8") as fh:
+        text = fh.read()
     per_node: dict[int, dict] = {}
     param_names: set[str] = set()
     if args.params:
-        raw = (
-            open(args.params).read()
-            if os.path.exists(args.params)
-            else args.params
-        )
+        if os.path.exists(args.params):
+            with open(args.params, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        else:
+            raw = args.params
         for node, env in json.loads(raw).items():
             per_node[int(node)] = dict(env)
             param_names |= set(env)
@@ -45,7 +46,10 @@ def _spec_from_source(args):
         program=program,
         params_fn=lambda node: per_node.get(node, {}),
         config=MachineConfig(
-            num_nodes=args.nodes, cache_size=8192, block_size=32, assoc=4
+            num_nodes=args.nodes,
+            cache_size=args.cache_size,
+            block_size=args.block_size,
+            assoc=args.assoc,
         ),
     )
 
@@ -64,6 +68,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--nodes", type=int, default=4,
         help="processor count for --source runs (default 4)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=8192,
+        help="per-node cache bytes for --source runs (default 8192)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=32,
+        help="cache block bytes for --source runs (default 32)",
+    )
+    parser.add_argument(
+        "--assoc", type=int, default=4,
+        help="cache associativity for --source runs (default 4)",
     )
     parser.add_argument(
         "--params", metavar="JSON",
@@ -98,13 +114,28 @@ def main(argv=None) -> int:
         "--output", metavar="PATH",
         help="also write the annotated source to a file",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="observe the trace run and print its metric summary",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome trace-event JSON of the trace run (open in "
+             "Perfetto); implies --obs",
+    )
     args = parser.parse_args(argv)
 
     if args.source:
         spec = _spec_from_source(args)
     else:
         spec = get_workload(args.workload)
-    trace = trace_program(spec.program, spec.config, spec.params_fn)
+    observer = None
+    if args.obs or args.trace_out:
+        from repro.obs.session import Observer
+
+        observer = Observer(meta={"name": spec.name, "mode": "trace"})
+    trace = trace_program(spec.program, spec.config, spec.params_fn,
+                          observer=observer)
     if args.save_trace:
         write_trace(trace, args.save_trace)
     cachier = Cachier(
@@ -125,6 +156,16 @@ def main(argv=None) -> int:
         f"{stats.near} near references ({stats.hoisted} hoisted), "
         f"{stats.prefetches} prefetch sites, {stats.comments} flags"
     )
+    if observer is not None and observer.observation is not None:
+        from repro.obs.cli import render_observation
+
+        print(render_observation(observer.observation))
+        if args.trace_out:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(observer.observation, args.trace_out)
+            print(f"// chrome trace of the trace run written to "
+                  f"{args.trace_out}")
     if args.report:
         print(result.report.render())
     if args.cost_report:

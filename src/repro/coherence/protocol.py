@@ -39,6 +39,7 @@ from repro.coherence.directory import Directory, DirState
 from repro.coherence.messages import MessageKind
 from repro.errors import ProtocolError
 from repro.network.model import Network
+from repro.obs.events import EventBus, EventKind, RecallEvent, TrapEvent
 
 
 class AccessKind(enum.Enum):
@@ -81,13 +82,15 @@ class Dir1SWProtocol:
         assoc: int,
         cost: CostModel | None = None,
         network: Network | None = None,
+        bus: EventBus | None = None,
     ):
         if num_nodes <= 0:
             raise ProtocolError(f"need at least one node, got {num_nodes}")
         self.num_nodes = num_nodes
         self.block_size = block_size
         self.cost = cost or CostModel()
-        self.network = network or Network(hop_latency=(cost or CostModel()).net_hop)
+        self.bus = bus
+        self.network = network or Network(hop_latency=self.cost.net_hop, bus=bus)
         self.caches = [
             SetAssociativeCache(cache_size, block_size, assoc) for _ in range(num_nodes)
         ]
@@ -155,6 +158,12 @@ class Dir1SWProtocol:
             entry.ptr = owner
             self.directory.add_reader(block, node)
             self.proto_stats.recalls += 1
+            bus = self.bus
+            if bus is not None and bus.wants(EventKind.RECALL):
+                bus.publish(RecallEvent(
+                    node=node, owner=owner, block=block,
+                    dirty=was_dirty, exclusive=False,
+                ))
             return self.cost.miss_with_recall(), "recall"
         # IDLE or RO: memory supplies the data.
         self.network.send(MessageKind.GET_S)
@@ -187,6 +196,12 @@ class Dir1SWProtocol:
             self.directory.drop(block, owner)
             self.directory.make_owner(block, node)
             self.proto_stats.recalls += 1
+            bus = self.bus
+            if bus is not None and bus.wants(EventKind.RECALL):
+                bus.publish(RecallEvent(
+                    node=node, owner=owner, block=block,
+                    dirty=dirty, exclusive=True,
+                ))
             return self.cost.miss_with_recall(), "recall"
         # RO: sharers must be invalidated first.
         self.network.send(MessageKind.GET_X)
@@ -215,6 +230,10 @@ class Dir1SWProtocol:
         self.network.send(MessageKind.DATA)
         self.proto_stats.sw_traps += 1
         self.proto_stats.bcast_invalidations += count
+        bus = self.bus
+        if bus is not None and bus.wants(EventKind.TRAP):
+            bus.publish(TrapEvent(node=node, block=block, copies=count,
+                                  upgrade=False))
         return self.cost.sw_trap(count) + self.cost.mem_cycles, "trap"
 
     def _upgrade(self, node: int, block: int) -> tuple[int, str]:
@@ -241,6 +260,10 @@ class Dir1SWProtocol:
         self.directory.make_owner(block, node)
         self.proto_stats.sw_traps += 1
         self.proto_stats.bcast_invalidations += others
+        bus = self.bus
+        if bus is not None and bus.wants(EventKind.TRAP):
+            bus.publish(TrapEvent(node=node, block=block, copies=others,
+                                  upgrade=True))
         return self.cost.sw_trap(others), "trap"
 
     # ------------------------------------------------------------- accesses

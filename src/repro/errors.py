@@ -65,3 +65,7 @@ class CachierError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
+
+
+class ObsError(ReproError):
+    """Observability subsystem misuse (bad metric, bad export target, ...)."""

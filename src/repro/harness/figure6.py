@@ -20,6 +20,7 @@ script) to print the table.
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass, field
 
 from repro.harness.reporting import render_table
@@ -60,10 +61,34 @@ class Fig6Row:
         return self.cycles[variant] / self.cycles[PLAIN]
 
 
+def _obs_factory(name: str, obs_dir: str):
+    """Per-variant Observer factory that writes a Chrome trace and a JSONL
+    manifest under ``obs_dir`` once the variant's run finalizes."""
+    from repro.obs.export import write_chrome_trace, write_manifest
+    from repro.obs.session import Observer
+
+    os.makedirs(obs_dir, exist_ok=True)
+
+    def factory(variant: str):
+        class _ExportingObserver(Observer):
+            def finalize(self, result):
+                obs = super().finalize(result)
+                stem = os.path.join(obs_dir, f"{name}-{variant}".replace("+", "_"))
+                write_chrome_trace(obs, stem + ".trace.json")
+                write_manifest(obs, stem + ".manifest.jsonl")
+                return obs
+
+        return _ExportingObserver(meta={"name": f"{name}/{variant}",
+                                        "benchmark": name, "variant": variant})
+
+    return factory
+
+
 def run_benchmark(
     name: str,
     include_prefetch: bool = True,
     policy=None,
+    obs_dir: str | None = None,
     **kwargs,
 ) -> Fig6Row:
     from repro.cachier.annotator import Policy
@@ -75,15 +100,18 @@ def run_benchmark(
         include_prefetch=include_prefetch,
     )
     row = Fig6Row(benchmark=name)
-    for variant, result in variants.run_all().items():
+    factory = _obs_factory(name, obs_dir) if obs_dir else None
+    for variant, result in variants.run_all(observer_factory=factory).items():
         row.cycles[variant] = result.cycles
     return row
 
 
 def run_figure6(
-    benchmarks=FIG6_BENCHMARKS, include_prefetch: bool = True, policy=None
+    benchmarks=FIG6_BENCHMARKS, include_prefetch: bool = True, policy=None,
+    obs_dir: str | None = None,
 ) -> list[Fig6Row]:
-    return [run_benchmark(name, include_prefetch, policy=policy)
+    return [run_benchmark(name, include_prefetch, policy=policy,
+                          obs_dir=obs_dir)
             for name in benchmarks]
 
 
@@ -125,6 +153,12 @@ def main(argv=None) -> int:
         choices=["performance", "programmer"],
         help="which CICO flavour Cachier emits (the paper ran performance)",
     )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR",
+        help="observe every run and write per-variant Chrome traces "
+             "(<bench>-<variant>.trace.json, open in Perfetto) and JSONL "
+             "manifests into DIR",
+    )
     args = parser.parse_args(argv)
     from repro.cachier.annotator import Policy
 
@@ -133,8 +167,11 @@ def main(argv=None) -> int:
         names,
         include_prefetch=not args.no_prefetch,
         policy=Policy(args.policy),
+        obs_dir=args.obs_dir,
     )
     print(render_figure6(rows))
+    if args.obs_dir:
+        print(f"// observability artefacts written to {args.obs_dir}/")
     return 0
 
 

@@ -8,6 +8,12 @@ This reproduces the paper's experimental flow (Figure 1):
 2. ``Cachier(...).annotate(...)`` — produce the annotated program.
 3. ``run_program`` — execute any program variant in timing mode (no
    flushing) and report cycles, miss counts and traffic.
+
+Both entry points take an optional :class:`~repro.obs.session.Observer`;
+when given, the machine publishes onto the observer's bus and the run's
+metrics / epoch timeline / Chrome trace events are attached to the
+:class:`RunResult` (``result.obs``).  Observation never changes the
+simulated cycles or statistics.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from repro.lang.ast import Program
 from repro.lang.interp import Interpreter, SharedStore
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine, RunResult
+from repro.obs.events import EventBus
+from repro.obs.session import Observer
 from repro.trace.collector import TraceCollector
 from repro.trace.records import Trace
 
@@ -26,7 +34,10 @@ ParamsFn = Callable[[int], dict]
 
 
 def trace_program(
-    program: Program, config: MachineConfig, params_fn: ParamsFn | None = None
+    program: Program,
+    config: MachineConfig,
+    params_fn: ParamsFn | None = None,
+    observer: Observer | None = None,
 ) -> Trace:
     """Collect the per-epoch miss trace of an unannotated program."""
     store = SharedStore(program, block_size=config.block_size)
@@ -35,18 +46,28 @@ def trace_program(
         block_size=config.block_size,
         num_nodes=config.num_nodes,
     )
+    bus = observer.bus if observer is not None else EventBus()
+    collector.subscribe(bus)
     interp = Interpreter(program, store, params_fn=params_fn)
-    Machine(config, listener=collector, flush_at_barrier=True).run(interp.kernel)
+    result = Machine(config, bus=bus, flush_at_barrier=True).run(interp.kernel)
+    if observer is not None:
+        observer.finalize(result)
     return collector.finish()
 
 
 def run_program(
-    program: Program, config: MachineConfig, params_fn: ParamsFn | None = None
+    program: Program,
+    config: MachineConfig,
+    params_fn: ParamsFn | None = None,
+    observer: Observer | None = None,
 ) -> tuple[RunResult, SharedStore]:
     """Timing run (no trace-mode flushing)."""
     store = SharedStore(program, block_size=config.block_size)
     interp = Interpreter(program, store, params_fn=params_fn)
-    result = Machine(config, flush_at_barrier=False).run(interp.kernel)
+    bus = observer.bus if observer is not None else None
+    result = Machine(config, flush_at_barrier=False, bus=bus).run(interp.kernel)
+    if observer is not None:
+        observer.finalize(result)
     return result, store
 
 

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.cachier.annotator import Cachier, CachierResult, Policy
 from repro.harness.runner import run_program, trace_program
 from repro.lang.ast import Program
 from repro.machine.machine import RunResult
+from repro.obs.session import Observer
 from repro.trace.records import Trace
 from repro.workloads.base import WorkloadSpec
 
@@ -32,14 +35,26 @@ class VariantSet:
     programs: dict[str, Program] = field(default_factory=dict)
     results: dict[str, CachierResult] = field(default_factory=dict)
 
-    def run(self, variant: str) -> RunResult:
+    def run(self, variant: str, observer: Observer | None = None) -> RunResult:
         result, _ = run_program(
-            self.programs[variant], self.spec.config, self.spec.params_fn
+            self.programs[variant], self.spec.config, self.spec.params_fn,
+            observer=observer,
         )
         return result
 
-    def run_all(self) -> dict[str, RunResult]:
-        return {variant: self.run(variant) for variant in self.programs}
+    def run_all(
+        self,
+        observer_factory: Callable[[str], Observer | None] | None = None,
+    ) -> dict[str, RunResult]:
+        """Run every variant; ``observer_factory(variant)`` may supply a
+        fresh Observer per run (None to leave a variant unobserved)."""
+        return {
+            variant: self.run(
+                variant,
+                observer_factory(variant) if observer_factory else None,
+            )
+            for variant in self.programs
+        }
 
 
 def build_variants(

@@ -13,13 +13,14 @@ from repro.machine.events import (
     DIR_PREFETCH_S,
     DIR_PREFETCH_X,
 )
-from repro.machine.machine import Machine, RunListener, RunResult
+from repro.machine.machine import Machine, RunListener, RunResult, subscribe_listener
 
 __all__ = [
     "MachineConfig",
     "Machine",
     "RunListener",
     "RunResult",
+    "subscribe_listener",
     "EV_BARRIER",
     "EV_DIRECTIVE",
     "EV_LOCK",

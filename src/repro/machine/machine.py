@@ -14,16 +14,20 @@ Responsibilities:
   epochs are the intervals between barriers) and the per-barrier epoch
   counter / virtual-time stamps,
 * implement simple queued locks,
-* notify an optional :class:`RunListener` of misses and barriers — this is
-  the hook the trace collector (Section 3.3) plugs into, including the
-  flush-shared-caches-at-every-barrier behaviour of trace mode.
+* publish every observable event — access outcomes, directives, barrier
+  crossings, lock traffic, node completion — on an
+  :class:`~repro.obs.events.EventBus` (Section 3.3's trace collector is one
+  subscriber; so are the metrics/timeline/Chrome-trace layers of
+  ``repro.obs``).  The legacy :class:`RunListener` protocol is kept as a
+  thin bridge: a listener is subscribed to the bus like everything else.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterator, Protocol
 
 from repro.cache.stats import CacheStats
 from repro.coherence.messages import MessageKind
@@ -42,16 +46,49 @@ from repro.machine.events import (
     EV_REF,
     EV_UNLOCK,
 )
+from repro.obs.events import (
+    AccessEvent,
+    BarrierEvent,
+    DirectiveEvent,
+    EventBus,
+    EventKind,
+    LockEvent,
+    NodeDoneEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.session import Observation
 
 
 class RunListener(Protocol):
-    """Observer interface for trace collection and instrumentation."""
+    """Legacy observer interface (misses + barriers only).
+
+    Superseded by the event bus; kept because it is a convenient minimal
+    surface for tests and simple probes.  A listener passed to
+    :class:`Machine` is bridged onto the bus and sees exactly what it
+    always did: non-hit accesses and barrier crossings.
+    """
 
     def on_access(
         self, node: int, epoch: int, addr: int, pc: int, result: AccessResult
     ) -> None: ...
 
     def on_barrier(self, epoch: int, vt: int, node_pcs: dict[int, int]) -> None: ...
+
+
+def subscribe_listener(bus: EventBus, listener: RunListener) -> int:
+    """Bridge a legacy :class:`RunListener` onto an event bus."""
+
+    def forward(event) -> None:
+        if isinstance(event, AccessEvent):
+            if event.result.kind is not AccessKind.HIT:
+                listener.on_access(
+                    event.node, event.epoch, event.addr, event.pc, event.result
+                )
+        else:
+            listener.on_barrier(event.epoch, event.vt, event.node_pcs)
+
+    return bus.subscribe((EventKind.ACCESS, EventKind.BARRIER), forward)
 
 
 @dataclass
@@ -66,6 +103,8 @@ class RunResult:
     sw_traps: int
     recalls: int
     extra: dict = field(default_factory=dict)
+    #: attached by Observer.finalize when the run was observed
+    obs: "Observation | None" = None
 
     @property
     def total_messages(self) -> int:
@@ -102,8 +141,9 @@ class _NodeState:
 
 class Machine:
     def __init__(self, config: MachineConfig, listener: RunListener | None = None,
-                 flush_at_barrier: bool = False):
+                 flush_at_barrier: bool = False, bus: EventBus | None = None):
         self.config = config
+        self.bus = bus if bus is not None else EventBus()
         if config.protocol == "fullmap":
             from repro.coherence.fullmap import FullMapProtocol
 
@@ -116,13 +156,17 @@ class Machine:
             block_size=config.block_size,
             assoc=config.assoc,
             cost=config.cost,
+            bus=self.bus,
         )
         self.listener = listener
+        if listener is not None:
+            subscribe_listener(self.bus, listener)
         self.flush_at_barrier = flush_at_barrier
         self.epoch = 0
         self._block_shift = config.block_size.bit_length() - 1
         self._lock_holders: dict[int, int] = {}  # lock addr -> node
-        self._lock_queues: dict[int, list[int]] = {}
+        # lock addr -> FIFO of (node, pc, enqueue clock)
+        self._lock_queues: dict[int, deque[tuple[int, int, int]]] = {}
         self._barrier_vts: list[int] = []  # virtual time at each barrier
 
     # ------------------------------------------------------------------ run
@@ -136,6 +180,7 @@ class Machine:
         heapq.heapify(heap)
         live = cfg.num_nodes
         barrier_waiters: list[int] = []
+        bus = self.bus
 
         while heap:
             clock, nid = heapq.heappop(heap)
@@ -151,6 +196,8 @@ class Machine:
                 except StopIteration:
                     state.done = True
                     live -= 1
+                    if bus.wants(EventKind.NODE_DONE):
+                        bus.publish(NodeDoneEvent(node=nid, t=state.clock))
                     if barrier_waiters and live == len(barrier_waiters):
                         raise BarrierError(
                             f"deadlock: node {nid} finished while nodes "
@@ -174,13 +221,17 @@ class Machine:
                 _, _compute, addr, is_write, pc = event
                 if addr >= 0:
                     block = addr >> self._block_shift
+                    started = state.clock
                     if is_write:
-                        result = self.protocol.write(nid, block, state.clock)
+                        result = self.protocol.write(nid, block, started)
                     else:
-                        result = self.protocol.read(nid, block, state.clock)
+                        result = self.protocol.read(nid, block, started)
                     state.clock += result.cycles
-                    if self.listener is not None and result.kind is not AccessKind.HIT:
-                        self.listener.on_access(nid, self.epoch, addr, pc, result)
+                    if bus.wants(EventKind.ACCESS):
+                        bus.publish(AccessEvent(
+                            node=nid, epoch=self.epoch, addr=addr, pc=pc,
+                            write=is_write, t=started, result=result,
+                        ))
                 heapq.heappush(heap, (state.clock, nid))
 
             elif code == EV_BARRIER:
@@ -195,7 +246,16 @@ class Machine:
 
             elif code == EV_DIRECTIVE:
                 _, _compute, kind, addrs, pc = event
-                state.clock += self._issue_directive(nid, kind, addrs, state.clock)
+                started = state.clock
+                cycles = self._issue_directive(nid, kind, addrs, started)
+                state.clock += cycles
+                if bus.wants(EventKind.DIRECTIVE):
+                    shift = self._block_shift
+                    bus.publish(DirectiveEvent(
+                        node=nid, epoch=self.epoch, dkind=kind,
+                        blocks=len({a >> shift for a in addrs if a >= 0}),
+                        pc=pc, t=started, cycles=cycles,
+                    ))
                 heapq.heappush(heap, (state.clock, nid))
 
             elif code == EV_LOCK:
@@ -203,11 +263,24 @@ class Machine:
                 holder = self._lock_holders.get(addr)
                 if holder is None:
                     self._lock_holders[addr] = nid
+                    started = state.clock
                     state.clock += cfg.lock_cycles
+                    if bus.wants(EventKind.LOCK_ACQUIRE):
+                        bus.publish(LockEvent(
+                            kind=EventKind.LOCK_ACQUIRE, node=nid, addr=addr,
+                            pc=pc, t=started,
+                        ))
                     heapq.heappush(heap, (state.clock, nid))
                 else:
                     state.waiting_lock = addr
-                    self._lock_queues.setdefault(addr, []).append(nid)
+                    self._lock_queues.setdefault(addr, deque()).append(
+                        (nid, pc, state.clock)
+                    )
+                    if bus.wants(EventKind.LOCK_CONTEND):
+                        bus.publish(LockEvent(
+                            kind=EventKind.LOCK_CONTEND, node=nid, addr=addr,
+                            pc=pc, t=state.clock,
+                        ))
                     # off the heap until the lock is granted
 
             elif code == EV_UNLOCK:
@@ -217,13 +290,24 @@ class Machine:
                         f"node {nid} unlocked {addr:#x} it does not hold"
                     )
                 del self._lock_holders[addr]
+                if bus.wants(EventKind.LOCK_RELEASE):
+                    bus.publish(LockEvent(
+                        kind=EventKind.LOCK_RELEASE, node=nid, addr=addr,
+                        pc=pc, t=state.clock,
+                    ))
                 queue = self._lock_queues.get(addr)
                 if queue:
-                    waiter = queue.pop(0)
+                    waiter, wpc, enqueued = queue.popleft()
                     wstate = nodes[waiter]
                     wstate.waiting_lock = None
-                    wstate.clock = max(wstate.clock, state.clock) + cfg.lock_cycles
+                    granted = max(wstate.clock, state.clock)
+                    wstate.clock = granted + cfg.lock_cycles
                     self._lock_holders[addr] = waiter
+                    if bus.wants(EventKind.LOCK_ACQUIRE):
+                        bus.publish(LockEvent(
+                            kind=EventKind.LOCK_ACQUIRE, node=waiter, addr=addr,
+                            pc=wpc, t=granted, wait=granted - enqueued,
+                        ))
                     heapq.heappush(heap, (wstate.clock, waiter))
                 heapq.heappush(heap, (state.clock, nid))
 
@@ -256,15 +340,17 @@ class Machine:
     ) -> None:
         vt = max(nodes[nid].clock for nid in waiters)
         self._barrier_vts.append(vt)
-        if self.listener is not None:
-            self.listener.on_barrier(
-                self.epoch, vt, {nid: nodes[nid].barrier_pc for nid in waiters}
-            )
+        resume = vt + self.config.cost.barrier_cycles
+        if self.bus.wants(EventKind.BARRIER):
+            self.bus.publish(BarrierEvent(
+                epoch=self.epoch, vt=vt,
+                node_pcs={nid: nodes[nid].barrier_pc for nid in waiters},
+                resume=resume,
+            ))
         if self.flush_at_barrier:
             for nid in waiters:
                 self.protocol.flush_node(nid)
         self.epoch += 1
-        resume = vt + self.config.cost.barrier_cycles
         for nid in waiters:
             nodes[nid].at_barrier = False
             nodes[nid].clock = resume

@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.coherence.messages import MessageKind
+from repro.obs.events import EventBus, EventKind, MessageEvent
 
 
 @dataclass
@@ -20,11 +21,15 @@ class Network:
     """Contention-free interconnect: every hop costs ``hop_latency`` cycles."""
 
     hop_latency: int = 100
+    bus: EventBus | None = None  # publishes per-message MessageEvents
     _traffic: Counter = field(default_factory=Counter)
 
     def send(self, kind: MessageKind, count: int = 1) -> None:
         """Record ``count`` messages of ``kind`` (traffic accounting only)."""
         self._traffic[kind] += count
+        bus = self.bus
+        if bus is not None and bus.wants(EventKind.MESSAGE):
+            bus.publish(MessageEvent(msg=kind, count=count))
 
     def hops(self, n: int) -> int:
         """Latency of ``n`` sequential message hops on the critical path."""

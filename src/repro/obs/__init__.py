@@ -1,0 +1,72 @@
+"""``repro.obs`` — observability for the simulated machine.
+
+The simulator's publishers (machine, protocol, network) emit structured
+events onto an :class:`~repro.obs.events.EventBus`; this package turns
+those events into metrics, per-epoch timelines, Chrome traces and JSONL
+manifests.  See ``docs/observability.md`` for a walkthrough.
+"""
+
+from repro.obs.events import (
+    AccessEvent,
+    BarrierEvent,
+    DirectiveEvent,
+    EventBus,
+    EventKind,
+    LockEvent,
+    MessageEvent,
+    NodeDoneEvent,
+    RecallEvent,
+    TrapEvent,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsError, MetricsRegistry
+from repro.obs.timeline import EpochSample, EpochTimeline
+
+# session/export pull in repro.coherence (which itself publishes onto the
+# bus), so they are imported lazily to keep repro.obs.events importable
+# from anywhere in the simulator without cycles.
+_LAZY = {
+    "Observation": "repro.obs.session",
+    "Observer": "repro.obs.session",
+    "chrome_trace": "repro.obs.export",
+    "manifest_records": "repro.obs.export",
+    "read_manifest": "repro.obs.export",
+    "write_chrome_trace": "repro.obs.export",
+    "write_manifest": "repro.obs.export",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+__all__ = [
+    "AccessEvent",
+    "BarrierEvent",
+    "Counter",
+    "DirectiveEvent",
+    "EpochSample",
+    "EpochTimeline",
+    "EventBus",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "LockEvent",
+    "MessageEvent",
+    "MetricsError",
+    "MetricsRegistry",
+    "NodeDoneEvent",
+    "Observation",
+    "Observer",
+    "RecallEvent",
+    "TrapEvent",
+    "chrome_trace",
+    "manifest_records",
+    "read_manifest",
+    "write_chrome_trace",
+    "write_manifest",
+]

@@ -1,0 +1,174 @@
+"""``repro-obs``: observe workload runs and inspect the artefacts.
+
+Subcommands::
+
+    repro-obs run --workload ocean --variant cachier \\
+        --trace-out ocean.trace.json --manifest-out ocean.manifest.jsonl
+    repro-obs summarize ocean.manifest.jsonl
+
+``run`` executes one variant of a built-in workload with the observability
+layer attached and prints the per-epoch activity table; ``summarize``
+re-renders that table from a previously written JSONL manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.reporting import render_table
+from repro.obs.export import read_manifest, write_chrome_trace, write_manifest
+from repro.obs.metrics import counter_delta
+from repro.obs.session import Observation, Observer
+
+#: scalar metrics shown as per-epoch deltas in the summary tables
+_EPOCH_COLUMNS = (
+    ("misses", ("accesses.read_miss", "accesses.write_miss")),
+    ("faults", ("accesses.write_fault",)),
+    ("traps", ("traps",)),
+    ("recalls", ("recalls",)),
+    ("msgs", ("messages",)),
+    ("locks", ("locks.acquired",)),
+)
+
+
+def _epoch_rows(samples: list[dict]) -> list[list[object]]:
+    rows = []
+    prev: dict = {}
+    for sample in samples:
+        metrics = sample["metrics"]
+        row: list[object] = [
+            sample["epoch"],
+            sample["cycles"],
+            "*" if sample.get("final") else "",
+        ]
+        for _, names in _EPOCH_COLUMNS:
+            row.append(sum(counter_delta(prev, metrics, n) for n in names))
+        rows.append(row)
+        prev = metrics
+    return rows
+
+
+def _render_epoch_table(samples: list[dict], title: str) -> str:
+    headers = ["epoch", "cycles", "fin"] + [c for c, _ in _EPOCH_COLUMNS]
+    return render_table(headers, _epoch_rows(samples), title=title)
+
+
+def render_observation(obs: Observation) -> str:
+    """Human-readable summary: run totals plus the per-epoch table."""
+    name = obs.meta.get("name", "run")
+    m = obs.metrics
+    misses = int(m.get("accesses.read_miss", 0)) + int(m.get("accesses.write_miss", 0))
+    lines = [
+        f"observed {name}: {obs.num_nodes} nodes, {obs.cycles} cycles, "
+        f"{obs.epochs} epochs",
+        f"  misses={misses} faults={m.get('accesses.write_fault', 0)} "
+        f"traps={m.get('traps', 0)} recalls={m.get('recalls', 0)} "
+        f"messages={m.get('messages', 0)} "
+        f"locks={m.get('locks.acquired', 0)}"
+        f" (contended {m.get('locks.contended', 0)})",
+        "",
+        _render_epoch_table(
+            [s.to_dict() for s in obs.timeline],
+            title="per-epoch activity (deltas; * = trailing partial epoch)",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- commands
+def _cmd_run(args) -> int:
+    from repro.cachier.annotator import Policy
+    from repro.harness.runner import run_program
+    from repro.harness.variants import PLAIN, build_variants
+    from repro.workloads.base import get_workload
+
+    spec = get_workload(args.workload)
+    if args.variant == PLAIN:
+        program = spec.program
+    else:
+        variants = build_variants(
+            spec,
+            policy=Policy(args.policy),
+            include_prefetch=args.variant.endswith("+pf"),
+        )
+        if args.variant not in variants.programs:
+            parser_error = (
+                f"workload {args.workload!r} has no {args.variant!r} variant "
+                f"(available: {sorted(variants.programs)})"
+            )
+            raise SystemExit(parser_error)
+        program = variants.programs[args.variant]
+
+    observer = Observer(
+        include_hits=args.include_hits,
+        meta={
+            "name": f"{spec.name}/{args.variant}",
+            "workload": args.workload,
+            "variant": args.variant,
+            "policy": args.policy,
+            "num_nodes": spec.config.num_nodes,
+        },
+    )
+    run_program(program, spec.config, spec.params_fn, observer=observer)
+    obs = observer.observation
+    assert obs is not None
+    print(render_observation(obs))
+    if args.trace_out:
+        write_chrome_trace(obs, args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    if args.manifest_out:
+        write_manifest(obs, args.manifest_out)
+        print(f"manifest written to {args.manifest_out}")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    records = read_manifest(args.manifest)
+    header = next((r for r in records if r.get("type") == "run"), None)
+    if header is None:
+        raise SystemExit(f"{args.manifest}: no 'run' record — not a manifest?")
+    name = header.get("meta", {}).get("name", args.manifest)
+    print(
+        f"{name}: {header.get('num_nodes')} nodes, "
+        f"{header.get('cycles')} cycles, {header.get('epochs')} epochs"
+    )
+    epochs = [r for r in records if r.get("type") == "epoch"]
+    print(_render_epoch_table(
+        epochs, title="per-epoch activity (deltas; * = trailing partial epoch)"
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload variant observed")
+    run_p.add_argument("--workload", default="matmul")
+    run_p.add_argument(
+        "--variant", default="plain",
+        choices=["plain", "hand", "hand+pf", "cachier", "cachier+pf"],
+    )
+    run_p.add_argument(
+        "--policy", default="performance",
+        choices=["performance", "programmer"],
+    )
+    run_p.add_argument("--trace-out", metavar="PATH",
+                       help="write Chrome trace-event JSON")
+    run_p.add_argument("--manifest-out", metavar="PATH",
+                       help="write the JSONL run manifest")
+    run_p.add_argument("--include-hits", action="store_true",
+                       help="record cache hits as trace spans too (verbose)")
+    run_p.set_defaults(func=_cmd_run)
+
+    sum_p = sub.add_parser("summarize", help="re-render a JSONL manifest")
+    sum_p.add_argument("manifest")
+    sum_p.set_defaults(func=_cmd_summarize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

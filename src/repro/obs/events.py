@@ -1,0 +1,216 @@
+"""Event vocabulary and the publish/subscribe bus of the obs subsystem.
+
+Everything the simulator can *see* flows through here: the machine publishes
+access outcomes, directive issues, barrier crossings and lock hand-offs; the
+protocol publishes its slow-path events (Dir1SW software traps, recalls);
+the network publishes per-message traffic.  Consumers — the trace collector,
+the metrics/timeline layer, the Chrome-trace recorder, ad-hoc test probes —
+subscribe to the :class:`EventKind`\\ s they care about.
+
+Zero overhead when disabled
+---------------------------
+Publishers guard every event with ``bus.wants(kind)`` (a set-membership
+test) and only *then* allocate the event object, so a run with no
+subscribers pays a few branch instructions and nothing else.  Do not put
+work on the publishing side that is not behind such a guard.
+
+Timestamps are node virtual-time cycles.  ``t`` is the clock at which the
+event *starts* (for spans, the duration is carried separately), so events
+map directly onto Chrome trace-event ``ts``/``dur`` fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
+
+from repro.coherence.messages import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (protocol imports us)
+    from repro.coherence.protocol import AccessResult
+
+
+class EventKind(enum.IntEnum):
+    """Topics of the bus; subscribe to any subset."""
+
+    ACCESS = enum.auto()  # every shared reference outcome (hits included)
+    DIRECTIVE = enum.auto()  # one CICO directive issue (possibly many blocks)
+    BARRIER = enum.auto()  # a barrier crossing / epoch boundary
+    LOCK_ACQUIRE = enum.auto()  # lock granted (immediately or after a wait)
+    LOCK_CONTEND = enum.auto()  # lock requested while held: node blocks
+    LOCK_RELEASE = enum.auto()  # lock released
+    TRAP = enum.auto()  # Dir1SW software trap (broadcast invalidation)
+    RECALL = enum.auto()  # directory recalled an exclusive owner's copy
+    MESSAGE = enum.auto()  # protocol network message(s)
+    NODE_DONE = enum.auto()  # a node's kernel finished
+
+
+@dataclass(frozen=True, slots=True)
+class AccessEvent:
+    """Outcome of one shared reference (the machine's EV_REF)."""
+
+    kind: ClassVar[EventKind] = EventKind.ACCESS
+    node: int
+    epoch: int
+    addr: int
+    pc: int
+    write: bool
+    t: int  # node clock when the access started
+    result: "AccessResult"  # cycles / AccessKind / detail
+
+
+@dataclass(frozen=True, slots=True)
+class DirectiveEvent:
+    """One CICO directive issue (check_out / check_in / prefetch)."""
+
+    kind: ClassVar[EventKind] = EventKind.DIRECTIVE
+    node: int
+    epoch: int
+    dkind: int  # repro.machine.events.DIR_* code
+    blocks: int  # distinct blocks the directive covered
+    pc: int
+    t: int
+    cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierEvent:
+    """All live nodes crossed a barrier; the epoch counter advances."""
+
+    kind: ClassVar[EventKind] = EventKind.BARRIER
+    epoch: int  # the epoch that just ended
+    vt: int  # virtual time of the crossing (max waiter clock)
+    node_pcs: dict[int, int]
+    resume: int  # clock the released nodes restart from
+
+
+@dataclass(frozen=True, slots=True)
+class LockEvent:
+    """A lock acquire / contend / release.
+
+    ``wait`` is nonzero only on an acquire that followed a contend: the
+    cycles the node spent blocked in the lock queue.
+    """
+
+    kind: EventKind  # LOCK_ACQUIRE | LOCK_CONTEND | LOCK_RELEASE
+    node: int
+    addr: int
+    pc: int
+    t: int
+    wait: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TrapEvent:
+    """Dir1SW software trap: broadcast invalidation of ``copies`` sharers."""
+
+    kind: ClassVar[EventKind] = EventKind.TRAP
+    node: int  # the requester whose access trapped
+    block: int
+    copies: int  # sharers invalidated by the broadcast
+    upgrade: bool  # True when raised on a write fault (S -> X)
+
+
+@dataclass(frozen=True, slots=True)
+class RecallEvent:
+    """The directory recalled the exclusive owner's copy for a requester."""
+
+    kind: ClassVar[EventKind] = EventKind.RECALL
+    node: int  # requester
+    owner: int  # node that held the block RW
+    block: int
+    dirty: bool  # owner's copy was dirty (writeback on the recall path)
+    exclusive: bool  # requester wanted an exclusive copy
+
+
+@dataclass(frozen=True, slots=True)
+class MessageEvent:
+    """``count`` protocol messages of one kind entered the network."""
+
+    kind: ClassVar[EventKind] = EventKind.MESSAGE
+    msg: MessageKind
+    count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDoneEvent:
+    """A node's kernel ran to completion."""
+
+    kind: ClassVar[EventKind] = EventKind.NODE_DONE
+    node: int
+    t: int
+
+
+Event = (
+    AccessEvent
+    | DirectiveEvent
+    | BarrierEvent
+    | LockEvent
+    | TrapEvent
+    | RecallEvent
+    | MessageEvent
+    | NodeDoneEvent
+)
+
+Handler = Callable[[object], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatch keyed by :class:`EventKind`.
+
+    Handlers run inline on the publishing (simulation) thread in
+    subscription order; they must not mutate simulator state.  ``subscribe``
+    returns a token for ``unsubscribe``.  ``wants``/``active`` are the fast
+    guards publishers use to skip event construction entirely when nobody
+    is listening.
+    """
+
+    __slots__ = ("_subs", "_next_token")
+
+    def __init__(self) -> None:
+        self._subs: dict[EventKind, dict[int, Handler]] = {}
+        self._next_token = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def active(self) -> bool:
+        """True when at least one subscription exists."""
+        return bool(self._subs)
+
+    def wants(self, kind: EventKind) -> bool:
+        """True when some subscriber listens to ``kind`` (the hot guard)."""
+        return kind in self._subs
+
+    def subscribers(self, kind: EventKind) -> int:
+        return len(self._subs.get(kind, ()))
+
+    # -------------------------------------------------------- subscription
+    def subscribe(
+        self, kinds: Iterable[EventKind] | None, handler: Handler
+    ) -> int:
+        """Register ``handler`` for ``kinds`` (None = every kind).
+
+        Returns an opaque token accepted by :meth:`unsubscribe`.
+        """
+        token = self._next_token
+        self._next_token += 1
+        for kind in EventKind if kinds is None else kinds:
+            self._subs.setdefault(EventKind(kind), {})[token] = handler
+        return token
+
+    def unsubscribe(self, token: int) -> None:
+        """Remove every subscription registered under ``token``."""
+        for kind in list(self._subs):
+            handlers = self._subs[kind]
+            handlers.pop(token, None)
+            if not handlers:
+                del self._subs[kind]
+
+    # ----------------------------------------------------------- publishing
+    def publish(self, event) -> None:
+        """Deliver ``event`` to every subscriber of its kind, in order."""
+        handlers = self._subs.get(event.kind)
+        if handlers:
+            for handler in tuple(handlers.values()):
+                handler(event)

@@ -1,0 +1,110 @@
+"""Exporters: Chrome trace-event JSON and JSONL run manifests.
+
+Chrome trace
+------------
+:func:`chrome_trace` renders an :class:`~repro.obs.session.Observation`
+into the Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON
+object), loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Layout: one process ("machine"), one thread track
+per simulated node, ``X`` (complete) spans for misses / directives / lock
+waits, and a global ``i`` (instant) marker per barrier crossing.
+Timestamps are simulated *cycles*, not microseconds — relative placement is
+what matters.
+
+Run manifest
+------------
+:func:`manifest_records` emits one JSON object per line: a ``run`` header
+(meta + summary), one ``epoch`` record per timeline sample, and a final
+``metrics`` record with the cumulative registry snapshot.  JSONL so that
+sweeps can concatenate manifests and stream-parse them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.obs.session import Observation
+
+MANIFEST_VERSION = 1
+
+
+# ------------------------------------------------------------ chrome trace
+def chrome_trace(obs: Observation) -> dict:
+    """Assemble the full Chrome trace-event JSON object."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": obs.meta.get("name", "machine")},
+        }
+    ]
+    for node in range(obs.num_nodes):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": node,
+            "args": {"name": f"node {node}"},
+        })
+        # Pin the track order to the node id.
+        events.append({
+            "name": "thread_sort_index",
+            "ph": "M",
+            "pid": 0,
+            "tid": node,
+            "args": {"sort_index": node},
+        })
+    events.extend(obs.trace_events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "cycles": obs.cycles,
+            "epochs": obs.epochs,
+            "manifestVersion": MANIFEST_VERSION,
+            **{k: str(v) for k, v in obs.meta.items()},
+        },
+    }
+
+
+def write_chrome_trace(obs: Observation, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(obs), fh)
+        fh.write("\n")
+
+
+# ------------------------------------------------------------ run manifest
+def manifest_records(obs: Observation) -> Iterator[dict]:
+    """The manifest as a stream of JSON-serialisable records."""
+    yield {
+        "type": "run",
+        "version": MANIFEST_VERSION,
+        "meta": obs.meta,
+        "num_nodes": obs.num_nodes,
+        "cycles": obs.cycles,
+        "epochs": obs.epochs,
+    }
+    for sample in obs.timeline:
+        yield {"type": "epoch", **sample.to_dict()}
+    yield {"type": "metrics", "metrics": obs.metrics}
+
+
+def write_manifest(obs: Observation, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in manifest_records(obs):
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+
+
+def read_manifest(path: str) -> list[dict]:
+    """Parse a JSONL manifest back into its records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,263 @@
+"""Standard wiring: bus -> metrics -> timeline -> trace-event recording.
+
+:class:`Observer` is the one-stop object the harness and CLIs use: it owns
+an :class:`~repro.obs.events.EventBus`, populates a
+:class:`~repro.obs.metrics.MetricsRegistry` from the simulator's events,
+snapshots it per epoch into an :class:`~repro.obs.timeline.EpochTimeline`,
+and (optionally) records Chrome trace events — one timeline track per node,
+epoch markers at every barrier, spans for misses, directives and lock
+waits.  After the run, :meth:`Observer.finalize` freezes everything into an
+:class:`Observation` and attaches it to the :class:`RunResult`.
+
+Observation never perturbs the simulation: handlers only read event fields,
+so an observed run is cycle-for-cycle identical to an unobserved one (there
+is a regression test for exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.protocol import AccessKind
+from repro.machine.events import DIRECTIVE_NAMES
+from repro.obs.events import (
+    AccessEvent,
+    BarrierEvent,
+    DirectiveEvent,
+    EventBus,
+    EventKind,
+    LockEvent,
+    MessageEvent,
+    NodeDoneEvent,
+    RecallEvent,
+    TrapEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import EpochSample, EpochTimeline
+
+#: Miss-latency buckets sized to the default cost model: hits (1), directive
+#: overheads, 2-hop memory misses (~230), 4-hop recalls (~430), software
+#: traps (500+), and a tail for contended/queued accesses.
+MISS_LATENCY_BUCKETS = (1, 10, 50, 100, 230, 300, 430, 600, 1000, 2500, 10000)
+#: Lock-wait buckets; bucket 1 absorbs uncontended acquires (wait == 0).
+LOCK_WAIT_BUCKETS = (0, 10, 40, 100, 400, 1000, 4000, 20000)
+#: Epoch-length buckets (cycles between consecutive barriers).
+EPOCH_LENGTH_BUCKETS = (100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+@dataclass
+class Observation:
+    """Frozen outcome of observing one run."""
+
+    metrics: dict  # final cumulative MetricsRegistry.snapshot()
+    timeline: list[EpochSample]
+    trace_events: list[dict]  # Chrome trace events (without metadata)
+    num_nodes: int
+    cycles: int
+    epochs: int
+    meta: dict = field(default_factory=dict)  # workload/variant/config info
+
+    def metric(self, name: str, default=0):
+        return self.metrics.get(name, default)
+
+
+class Observer:
+    """Subscribe the standard instrumentation to an event bus.
+
+    Parameters
+    ----------
+    bus, registry:
+        Bring your own to share them across runs; fresh ones by default.
+    chrome:
+        Record Chrome trace events (costs one dict per span; disable for
+        metrics-only runs).
+    include_hits:
+        Also record cache *hits* as trace spans.  Off by default — hits are
+        one cycle each and drown every other track.
+    meta:
+        Free-form run description copied into the Observation and exported
+        manifests (workload name, variant, config, ...).
+    """
+
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        registry: MetricsRegistry | None = None,
+        chrome: bool = True,
+        include_hits: bool = False,
+        meta: dict | None = None,
+    ):
+        self.bus = bus if bus is not None else EventBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.include_hits = include_hits
+        self.meta = dict(meta or {})
+        self.trace_events: list[dict] = []
+        self.observation: Observation | None = None  # set by finalize()
+        self._chrome = chrome
+        self._tokens: list[int] = []
+        self._max_node = -1
+
+        reg = self.registry
+        # Eagerly create the standard instruments so every snapshot carries
+        # the full, stable key set (epoch deltas need aligned keys).
+        self._c_access = {
+            kind: reg.counter(f"accesses.{kind.value}") for kind in AccessKind
+        }
+        self._h_miss = reg.histogram("miss_latency", MISS_LATENCY_BUCKETS)
+        self._c_directives = {
+            code: reg.counter(f"directives.{name}")
+            for code, name in DIRECTIVE_NAMES.items()
+        }
+        self._c_directive_blocks = reg.counter("directives.blocks")
+        self._c_barriers = reg.counter("barriers")
+        self._h_epoch = reg.histogram("epoch_length", EPOCH_LENGTH_BUCKETS)
+        self._c_lock_acq = reg.counter("locks.acquired")
+        self._c_lock_con = reg.counter("locks.contended")
+        self._c_lock_rel = reg.counter("locks.released")
+        self._h_lock_wait = reg.histogram("lock_wait", LOCK_WAIT_BUCKETS)
+        self._c_traps = reg.counter("traps")
+        self._c_trap_copies = reg.counter("traps.copies_invalidated")
+        self._c_recalls = reg.counter("recalls")
+        self._c_recalls_dirty = reg.counter("recalls.dirty")
+        self._c_messages = reg.counter("messages")
+        self._c_nodes_done = reg.counter("nodes_done")
+
+        sub = self.bus.subscribe
+        self._tokens += [
+            sub((EventKind.ACCESS,), self._on_access),
+            sub((EventKind.DIRECTIVE,), self._on_directive),
+            sub((EventKind.LOCK_ACQUIRE, EventKind.LOCK_CONTEND,
+                 EventKind.LOCK_RELEASE), self._on_lock),
+            sub((EventKind.TRAP,), self._on_trap),
+            sub((EventKind.RECALL,), self._on_recall),
+            sub((EventKind.MESSAGE,), self._on_message),
+            sub((EventKind.NODE_DONE,), self._on_node_done),
+            sub((EventKind.BARRIER,), self._on_barrier),
+        ]
+        # The timeline subscribes *after* the metric handlers so each epoch
+        # sample includes the barrier that closed it.
+        self.timeline = EpochTimeline(self.registry)
+        self._tokens.append(self.timeline.attach(self.bus))
+
+    # ------------------------------------------------------------- handlers
+    def _on_access(self, ev: AccessEvent) -> None:
+        result = ev.result
+        self._c_access[result.kind].inc()
+        if ev.node > self._max_node:
+            self._max_node = ev.node
+        if result.kind is AccessKind.HIT:
+            if not (self._chrome and self.include_hits):
+                return
+        else:
+            self._h_miss.observe(result.cycles)
+        if self._chrome:
+            self.trace_events.append({
+                "name": result.kind.value,
+                "cat": "mem",
+                "ph": "X",
+                "ts": ev.t,
+                "dur": result.cycles,
+                "pid": 0,
+                "tid": ev.node,
+                "args": {
+                    "addr": f"{ev.addr:#x}",
+                    "pc": ev.pc,
+                    "write": ev.write,
+                    "epoch": ev.epoch,
+                    "detail": result.detail,
+                },
+            })
+
+    def _on_directive(self, ev: DirectiveEvent) -> None:
+        self._c_directives[ev.dkind].inc()
+        self._c_directive_blocks.inc(ev.blocks)
+        if ev.node > self._max_node:
+            self._max_node = ev.node
+        if self._chrome:
+            self.trace_events.append({
+                "name": DIRECTIVE_NAMES[ev.dkind],
+                "cat": "cico",
+                "ph": "X",
+                "ts": ev.t,
+                "dur": ev.cycles,
+                "pid": 0,
+                "tid": ev.node,
+                "args": {"blocks": ev.blocks, "pc": ev.pc, "epoch": ev.epoch},
+            })
+
+    def _on_barrier(self, ev: BarrierEvent) -> None:
+        self._c_barriers.inc()
+        self._h_epoch.observe(ev.vt - (self.timeline._prev_vt))
+        if self._chrome:
+            self.trace_events.append({
+                "name": f"barrier/epoch {ev.epoch}",
+                "cat": "sync",
+                "ph": "i",
+                "ts": ev.vt,
+                "pid": 0,
+                "tid": 0,
+                "s": "g",  # global scope: a marker across every node track
+                "args": {"epoch": ev.epoch, "resume": ev.resume},
+            })
+
+    def _on_lock(self, ev: LockEvent) -> None:
+        if ev.node > self._max_node:
+            self._max_node = ev.node
+        if ev.kind is EventKind.LOCK_ACQUIRE:
+            self._c_lock_acq.inc()
+            self._h_lock_wait.observe(ev.wait)
+            if self._chrome and ev.wait:
+                self.trace_events.append({
+                    "name": "lock wait",
+                    "cat": "lock",
+                    "ph": "X",
+                    "ts": ev.t - ev.wait,
+                    "dur": ev.wait,
+                    "pid": 0,
+                    "tid": ev.node,
+                    "args": {"lock": f"{ev.addr:#x}", "pc": ev.pc},
+                })
+        elif ev.kind is EventKind.LOCK_CONTEND:
+            self._c_lock_con.inc()
+        else:
+            self._c_lock_rel.inc()
+
+    def _on_trap(self, ev: TrapEvent) -> None:
+        self._c_traps.inc()
+        self._c_trap_copies.inc(ev.copies)
+
+    def _on_recall(self, ev: RecallEvent) -> None:
+        self._c_recalls.inc()
+        if ev.dirty:
+            self._c_recalls_dirty.inc()
+
+    def _on_message(self, ev: MessageEvent) -> None:
+        self._c_messages.inc(ev.count)
+        self.registry.counter(f"messages.{ev.msg.value}").inc(ev.count)
+
+    def _on_node_done(self, ev: NodeDoneEvent) -> None:
+        self._c_nodes_done.inc()
+
+    # ------------------------------------------------------------ lifecycle
+    def detach(self) -> None:
+        """Drop every subscription this observer holds on the bus."""
+        for token in self._tokens:
+            self.bus.unsubscribe(token)
+        self._tokens.clear()
+
+    def finalize(self, result) -> Observation:
+        """Freeze the observation and attach it to ``result.obs``."""
+        self.timeline.finalize(result.cycles)
+        num_nodes = max(len(result.per_node), self._max_node + 1)
+        obs = Observation(
+            metrics=self.registry.snapshot(),
+            timeline=list(self.timeline.samples),
+            trace_events=list(self.trace_events),
+            num_nodes=num_nodes,
+            cycles=result.cycles,
+            epochs=result.epochs,
+            meta=dict(self.meta),
+        )
+        self.observation = obs
+        result.obs = obs
+        return obs

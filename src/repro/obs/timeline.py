@@ -1,0 +1,109 @@
+"""Per-epoch timelines: metric snapshots keyed to barrier crossings.
+
+The paper's program model (Fig. 2) divides execution into epochs separated
+by barriers; everything Cachier reasons about is per-epoch.  The timeline
+makes the *simulator's* behaviour visible at the same granularity: it
+subscribes to :class:`~repro.obs.events.BarrierEvent` and snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` at every crossing, then once
+more for the trailing partial epoch when the run finishes.
+
+Samples store *cumulative* snapshots (cheap, and robust to consumers that
+only care about totals); :meth:`EpochTimeline.delta` recovers per-epoch
+counter increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import BarrierEvent, EventBus, EventKind
+from repro.obs.metrics import MetricsRegistry, counter_delta
+
+
+@dataclass(frozen=True, slots=True)
+class EpochSample:
+    """One epoch's slice of the run."""
+
+    epoch: int
+    start_vt: int  # virtual time the epoch started (previous barrier)
+    end_vt: int  # virtual time it ended (this barrier / run completion)
+    snapshot: dict  # cumulative MetricsRegistry.snapshot() at end_vt
+    final: bool = False  # True for the trailing partial epoch
+
+    @property
+    def cycles(self) -> int:
+        return self.end_vt - self.start_vt
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "start_vt": self.start_vt,
+            "end_vt": self.end_vt,
+            "cycles": self.cycles,
+            "final": self.final,
+            "metrics": self.snapshot,
+        }
+
+
+@dataclass
+class EpochTimeline:
+    """Collects an :class:`EpochSample` per barrier crossing.
+
+    Attach to a bus with :meth:`attach` before the run; call
+    :meth:`finalize` with the run's total cycles afterwards to capture the
+    epoch between the last barrier and program completion.
+    """
+
+    registry: MetricsRegistry
+    samples: list[EpochSample] = field(default_factory=list)
+    _prev_vt: int = 0
+    _next_epoch: int = 0
+    _finalized: bool = False
+
+    def attach(self, bus: EventBus) -> int:
+        return bus.subscribe((EventKind.BARRIER,), self.on_barrier)
+
+    def on_barrier(self, event: BarrierEvent) -> None:
+        self.samples.append(
+            EpochSample(
+                epoch=event.epoch,
+                start_vt=self._prev_vt,
+                end_vt=event.vt,
+                snapshot=self.registry.snapshot(),
+            )
+        )
+        self._prev_vt = event.vt
+        self._next_epoch = event.epoch + 1
+
+    def finalize(self, total_cycles: int) -> None:
+        """Record the trailing partial epoch (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if total_cycles > self._prev_vt or not self.samples:
+            self.samples.append(
+                EpochSample(
+                    epoch=self._next_epoch,
+                    start_vt=self._prev_vt,
+                    end_vt=max(total_cycles, self._prev_vt),
+                    snapshot=self.registry.snapshot(),
+                    final=True,
+                )
+            )
+
+    # ------------------------------------------------------------- queries
+    def epoch_cycles(self) -> list[int]:
+        """Cycles per epoch — matches ``RunResult.epoch_times``."""
+        return [s.cycles for s in self.samples]
+
+    def delta(self, name: str, epoch_index: int) -> int:
+        """Increment of scalar metric ``name`` during the i-th sample."""
+        cur = self.samples[epoch_index].snapshot
+        prev = self.samples[epoch_index - 1].snapshot if epoch_index else {}
+        return counter_delta(prev, cur, name)
+
+    def deltas(self, name: str) -> list[int]:
+        return [self.delta(name, i) for i in range(len(self.samples))]
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.samples]

@@ -3,9 +3,10 @@
 During a trace run, WWT kept per-epoch miss information in a hash table and
 dumped it to the trace file at each synchronisation barrier, flushing every
 node's shared-data cache so the next epoch's first touches would miss again.
-:class:`TraceCollector` reproduces that: it is a machine
-:class:`~repro.machine.machine.RunListener`; pair it with
-``Machine(..., flush_at_barrier=True)``.
+:class:`TraceCollector` reproduces that.  It consumes the machine's event
+bus — call :meth:`TraceCollector.subscribe` on the bus of a
+``Machine(..., flush_at_barrier=True)`` — and still implements the legacy
+:class:`~repro.machine.machine.RunListener` surface for direct use.
 
 As in the paper, at most one record is kept per (node, address, kind) per
 epoch — it is a hash table keyed by the access, not an ordered log — and
@@ -14,8 +15,9 @@ within an epoch no ordering is preserved.
 
 from __future__ import annotations
 
-from repro.coherence.protocol import AccessResult
+from repro.coherence.protocol import AccessKind, AccessResult
 from repro.mem.labels import LabelTable
+from repro.obs.events import AccessEvent, BarrierEvent, EventBus, EventKind
 from repro.trace.records import BarrierRecord, LabelInfo, MissKind, MissRecord, Trace
 
 
@@ -30,6 +32,22 @@ class TraceCollector:
         self._current_epoch = 0
         self._misses: list[MissRecord] = []
         self._barriers: list[BarrierRecord] = []
+
+    # --------------------------------------------------------------- bus API
+    def subscribe(self, bus: EventBus) -> list[int]:
+        """Attach to a machine's event bus; returns the subscription tokens."""
+        return [
+            bus.subscribe((EventKind.ACCESS,), self._on_access_event),
+            bus.subscribe((EventKind.BARRIER,), self._on_barrier_event),
+        ]
+
+    def _on_access_event(self, event: AccessEvent) -> None:
+        if event.result.kind is not AccessKind.HIT:
+            self.on_access(event.node, event.epoch, event.addr, event.pc,
+                           event.result)
+
+    def _on_barrier_event(self, event: BarrierEvent) -> None:
+        self.on_barrier(event.epoch, event.vt, event.node_pcs)
 
     # ---------------------------------------------------------- listener API
     def on_access(

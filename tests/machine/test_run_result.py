@@ -1,0 +1,74 @@
+"""RunResult.epoch_times edge cases: empty run, single epoch, partial tail."""
+
+from __future__ import annotations
+
+from repro.cache.stats import CacheStats
+from repro.machine.config import MachineConfig
+from repro.machine.events import EV_BARRIER, EV_REF
+from repro.machine.machine import Machine, RunResult
+
+
+def result(cycles, barrier_vts, epochs=None):
+    return RunResult(
+        cycles=cycles,
+        epochs=len(barrier_vts) if epochs is None else epochs,
+        stats=CacheStats(),
+        per_node=[],
+        traffic={},
+        sw_traps=0,
+        recalls=0,
+        extra={"barrier_vts": list(barrier_vts)},
+    )
+
+
+class TestEpochTimes:
+    def test_empty_run(self):
+        assert result(0, []).epoch_times() == []
+
+    def test_barrier_free_run_is_one_epoch(self):
+        assert result(120, []).epoch_times() == [120]
+
+    def test_single_epoch_ending_on_barrier(self):
+        assert result(50, [50]).epoch_times() == [50]
+
+    def test_trailing_partial_epoch(self):
+        assert result(80, [50]).epoch_times() == [50, 30]
+
+    def test_multiple_epochs_are_deltas(self):
+        assert result(100, [10, 40, 100]).epoch_times() == [10, 30, 60]
+
+    def test_missing_extra_key_means_single_epoch(self):
+        r = result(42, [])
+        r.extra = {}
+        assert r.epoch_times() == [42]
+
+    def test_sums_to_total_cycles(self):
+        r = result(977, [100, 450, 700])
+        assert sum(r.epoch_times()) == r.cycles
+
+
+class TestEpochTimesFromRealRuns:
+    def config(self):
+        return MachineConfig(num_nodes=2, cache_size=4096, block_size=32, assoc=2)
+
+    def test_empty_kernels(self):
+        r = Machine(self.config()).run(lambda nid: iter(()))
+        assert r.epoch_times() == []
+
+    def test_single_epoch_no_barrier(self):
+        def kernel(nid):
+            yield (EV_REF, 10, -1, False, -1)
+
+        r = Machine(self.config()).run(kernel)
+        assert r.epoch_times() == [10]
+
+    def test_trailing_partial_epoch_after_barrier(self):
+        def kernel(nid):
+            yield (EV_REF, 10, -1, False, -1)
+            yield (EV_BARRIER, 0, 1)
+            yield (EV_REF, 5, -1, False, -1)
+
+        r = Machine(self.config()).run(kernel)
+        # barrier at vt=10, then barrier_cycles + 5 compute
+        assert r.epoch_times() == [10, r.cycles - 10]
+        assert sum(r.epoch_times()) == r.cycles

@@ -1,0 +1,207 @@
+"""Integration: the machine/protocol/network publish the right events."""
+
+from __future__ import annotations
+
+from repro.coherence.costs import CostModel
+from repro.coherence.protocol import AccessKind
+from repro.machine.config import MachineConfig
+from repro.machine.events import (
+    DIR_CHECK_IN,
+    DIR_CHECK_OUT_X,
+    EV_BARRIER,
+    EV_DIRECTIVE,
+    EV_LOCK,
+    EV_REF,
+    EV_UNLOCK,
+)
+from repro.machine.machine import Machine
+from repro.obs.events import EventBus, EventKind
+
+BASE = 0x1000_0000
+COST = CostModel()
+
+
+def config(nodes=2, **kw):
+    return MachineConfig(num_nodes=nodes, cache_size=4096, block_size=32,
+                         assoc=2, **kw)
+
+
+def collect(kinds, kernel, nodes=2):
+    bus = EventBus()
+    events = []
+    bus.subscribe(kinds, events.append)
+    result = Machine(config(nodes), bus=bus).run(kernel)
+    return events, result
+
+
+class TestAccessEvents:
+    def test_hits_and_misses_published_with_pc(self):
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, BASE, False, 7)
+                yield (EV_REF, 0, BASE, False, 8)
+
+        events, _ = collect((EventKind.ACCESS,), kernel)
+        assert [e.result.kind for e in events] == [AccessKind.READ_MISS,
+                                                   AccessKind.HIT]
+        assert [e.pc for e in events] == [7, 8]
+        assert events[0].t == 0
+        assert events[0].result.cycles == COST.miss_from_memory()
+
+    def test_sentinel_refs_publish_nothing(self):
+        def kernel(nid):
+            yield (EV_REF, 5, -1, False, -1)
+
+        events, _ = collect((EventKind.ACCESS,), kernel)
+        assert events == []
+
+
+class TestLockEvents:
+    def test_uncontended_lock_records_pc(self):
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_LOCK, 0, 0x40, 11)
+                yield (EV_UNLOCK, 0, 0x40, 12)
+
+        events, _ = collect(
+            (EventKind.LOCK_ACQUIRE, EventKind.LOCK_CONTEND,
+             EventKind.LOCK_RELEASE), kernel)
+        assert [(e.kind, e.pc, e.wait) for e in events] == [
+            (EventKind.LOCK_ACQUIRE, 11, 0),
+            (EventKind.LOCK_RELEASE, 12, 0),
+        ]
+
+    def test_contended_lock_measures_wait_and_preserves_pc(self):
+        # Node 0 grabs the lock at t=0 and holds it while computing; node 1
+        # arrives at t=10 and must wait for the hand-off.
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_LOCK, 0, 0x40, 1)
+                yield (EV_REF, 500, -1, False, -1)
+                yield (EV_UNLOCK, 0, 0x40, 2)
+            else:
+                yield (EV_REF, 10, -1, False, -1)
+                yield (EV_LOCK, 0, 0x40, 3)
+                yield (EV_UNLOCK, 0, 0x40, 4)
+
+        events, _ = collect(
+            (EventKind.LOCK_ACQUIRE, EventKind.LOCK_CONTEND), kernel)
+        contend = [e for e in events if e.kind is EventKind.LOCK_CONTEND]
+        assert [(e.node, e.pc) for e in contend] == [(1, 3)]
+        handoff = [e for e in events
+                   if e.kind is EventKind.LOCK_ACQUIRE and e.node == 1]
+        assert len(handoff) == 1
+        # Holder released at lock_cycles + 500 compute; waiter enqueued at 10.
+        release_t = COST.compute_cycles * 500 + 40
+        assert handoff[0].wait == release_t - 10
+        assert handoff[0].t == release_t
+        assert handoff[0].pc == 3
+
+    def test_fifo_handoff_order(self):
+        """Three waiters are granted in arrival order (deque semantics)."""
+        def kernel(nid):
+            yield (EV_REF, nid * 3, -1, False, -1)  # stagger arrivals
+            yield (EV_LOCK, 0, 0x40, nid)
+            yield (EV_REF, 100, -1, False, -1)
+            yield (EV_UNLOCK, 0, 0x40, nid)
+
+        events, _ = collect((EventKind.LOCK_ACQUIRE,), kernel, nodes=4)
+        assert [e.node for e in events] == [0, 1, 2, 3]
+
+
+class TestDirectiveAndBarrierEvents:
+    def test_directive_event_counts_distinct_blocks(self):
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_DIRECTIVE, 0, DIR_CHECK_OUT_X,
+                       [BASE, BASE + 4, BASE + 32], 5)
+                yield (EV_DIRECTIVE, 0, DIR_CHECK_IN, [BASE], 6)
+
+        events, _ = collect((EventKind.DIRECTIVE,), kernel)
+        assert [(e.dkind, e.blocks, e.pc) for e in events] == [
+            (DIR_CHECK_OUT_X, 2, 5), (DIR_CHECK_IN, 1, 6)]
+        assert events[0].cycles > 0
+
+    def test_barrier_event_matches_result(self):
+        def kernel(nid):
+            yield (EV_REF, 10 + nid, -1, False, -1)
+            yield (EV_BARRIER, 0, 42)
+
+        events, result = collect((EventKind.BARRIER,), kernel)
+        assert len(events) == 1
+        ev = events[0]
+        assert (ev.epoch, ev.vt) == (0, 11)
+        assert ev.node_pcs == {0: 42, 1: 42}
+        assert ev.resume == 11 + COST.barrier_cycles
+        assert result.extra["barrier_vts"] == [11]
+
+    def test_node_done_published_per_node(self):
+        def kernel(nid):
+            yield (EV_REF, nid + 1, -1, False, -1)
+
+        events, _ = collect((EventKind.NODE_DONE,), kernel)
+        assert sorted(e.node for e in events) == [0, 1]
+
+
+class TestProtocolEvents:
+    def test_recall_event_on_dirty_read_miss(self):
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, BASE, True, 1)  # own it dirty
+                yield (EV_BARRIER, 0, 2)
+            else:
+                yield (EV_BARRIER, 0, 2)
+                yield (EV_REF, 0, BASE, False, 3)  # forces a recall
+
+        events, result = collect((EventKind.RECALL,), kernel)
+        assert result.recalls == 1
+        assert len(events) == 1
+        assert (events[0].node, events[0].owner) == (1, 0)
+        assert events[0].dirty and not events[0].exclusive
+
+    def test_trap_event_when_many_sharers_invalidated(self):
+        def kernel(nid):
+            yield (EV_REF, 0, BASE, False, 1)  # everyone shares the block
+            yield (EV_BARRIER, 0, 2)
+            if nid == 0:
+                yield (EV_REF, 0, BASE, True, 3)  # write fault -> trap
+
+        events, result = collect((EventKind.TRAP,), kernel, nodes=3)
+        assert result.sw_traps == 1
+        assert len(events) == 1
+        assert events[0].node == 0
+        assert events[0].copies == 2  # the two other sharers
+        assert events[0].upgrade
+
+    def test_message_events_sum_to_traffic(self):
+        def kernel(nid):
+            yield (EV_REF, 0, BASE + 64 * nid, True, 1)
+
+        events, result = collect((EventKind.MESSAGE,), kernel)
+        assert sum(e.count for e in events) == result.total_messages
+        by_kind = {}
+        for e in events:
+            by_kind[e.msg] = by_kind.get(e.msg, 0) + e.count
+        assert by_kind == result.traffic
+
+
+class TestLegacyListenerBridge:
+    def test_listener_still_sees_misses_and_barriers(self):
+        seen = {"access": [], "barrier": []}
+
+        class Listener:
+            def on_access(self, node, epoch, addr, pc, result):
+                seen["access"].append((node, addr, result.kind))
+
+            def on_barrier(self, epoch, vt, node_pcs):
+                seen["barrier"].append(epoch)
+
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, BASE, False, 1)
+                yield (EV_REF, 0, BASE, False, 2)  # hit: listener filtered
+            yield (EV_BARRIER, 0, 3)
+
+        Machine(config(), listener=Listener()).run(kernel)
+        assert seen["access"] == [(0, BASE, AccessKind.READ_MISS)]
+        assert seen["barrier"] == [0]

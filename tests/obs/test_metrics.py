@@ -1,0 +1,132 @@
+"""Metrics registry unit tests, histogram bucket edges in particular."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    counter_delta,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            Counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogramBuckets:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        h = Histogram("h", (10, 100))
+        h.observe(10)  # == first bound: inclusive upper bound
+        assert h.counts == [1, 0, 0]
+
+    def test_value_above_bound_goes_to_next_bucket(self):
+        h = Histogram("h", (10, 100))
+        h.observe(11)
+        h.observe(100)
+        assert h.counts == [0, 2, 0]
+
+    def test_value_above_last_bound_overflows(self):
+        h = Histogram("h", (10, 100))
+        h.observe(101)
+        assert h.counts == [0, 0, 1]
+        assert h.snapshot()["overflow"] == 1
+
+    def test_minimum_value_lands_in_first_bucket(self):
+        h = Histogram("h", (0, 10))
+        h.observe(0)
+        assert h.counts == [1, 0, 0]
+
+    def test_stats_track_min_max_sum(self):
+        h = Histogram("h", (10,))
+        for v in (3, 30, 7):
+            h.observe(v)
+        assert (h.min, h.max, h.total, h.count) == (3, 30, 40, 3)
+        assert h.mean == pytest.approx(40 / 3)
+
+    def test_quantile_returns_bucket_bound(self):
+        h = Histogram("h", (10, 100, 1000))
+        for _ in range(99):
+            h.observe(5)
+        h.observe(500)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(1.0) == 1000
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        assert Histogram("h", (10,)).quantile(0.5) is None
+
+    def test_overflow_quantile_reports_exact_max(self):
+        h = Histogram("h", (10,))
+        h.observe(12345)
+        assert h.quantile(1.0) == 12345
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("h", (100, 10))
+        with pytest.raises(MetricsError):
+            Histogram("h", (10, 10))
+        with pytest.raises(MetricsError):
+            Histogram("h", ())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError):
+            reg.gauge("x")
+        with pytest.raises(MetricsError):
+            reg.histogram("x", (1,))
+
+    def test_histogram_needs_bounds_on_first_use(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.histogram("h")
+        h = reg.histogram("h", (1, 2))
+        assert reg.histogram("h") is h
+        with pytest.raises(MetricsError):
+            reg.histogram("h", (1, 3))
+
+    def test_snapshot_is_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(-1)
+        reg.histogram("h", (10,)).observe(4)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == -1
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"] == {10: 1}
+
+    def test_counter_delta_between_snapshots(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(3)
+        before = reg.snapshot()
+        c.inc(4)
+        after = reg.snapshot()
+        assert counter_delta(before, after, "c") == 4
+        assert counter_delta({}, after, "c") == 7
+        assert counter_delta(before, after, "missing") == 0
