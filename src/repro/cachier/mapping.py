@@ -40,7 +40,20 @@ class ParamEnv:
             self.per_node[node] = env
 
     def value(self, node: int, name: str) -> float:
-        return self.per_node[node][name]
+        try:
+            env = self.per_node[node]
+        except KeyError:
+            raise CachierError(
+                f"no parameter environment for node {node} "
+                f"(have nodes 0..{self.num_nodes - 1})"
+            ) from None
+        try:
+            return env[name]
+        except KeyError:
+            raise CachierError(
+                f"node {node} has no parameter {name!r} "
+                f"(available: {sorted(env)})"
+            ) from None
 
     def eval_expr(self, node: int, expr: Expr) -> int | None:
         """Evaluate a Const/Param(+-Const) expression for one node."""

@@ -78,8 +78,11 @@ def _obs_factory(name: str, obs_dir: str):
                 write_manifest(obs, stem + ".manifest.jsonl")
                 return obs
 
-        return _ExportingObserver(meta={"name": f"{name}/{variant}",
-                                        "benchmark": name, "variant": variant})
+        return _ExportingObserver(
+            profile=True,
+            meta={"name": f"{name}/{variant}",
+                  "benchmark": name, "variant": variant},
+        )
 
     return factory
 

@@ -10,12 +10,30 @@ def render_table(
     rows: Sequence[Sequence[object]],
     title: str | None = None,
 ) -> str:
-    """Fixed-width table; floats are shown with three decimals."""
+    """Fixed-width table; floats are shown with three decimals.
+
+    Numeric columns (every cell an int/float, ignoring placeholder strings
+    like ``""``, ``"-"`` or ``"*"``) are right-aligned.
+    """
 
     def cell(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)
+
+    _PLACEHOLDERS = {"", "-", "*"}
+
+    def numeric(col: int) -> bool:
+        saw_number = False
+        for row in rows:
+            value = row[col]
+            if isinstance(value, bool):
+                return False
+            if isinstance(value, (int, float)):
+                saw_number = True
+            elif not (isinstance(value, str) and value in _PLACEHOLDERS):
+                return False
+        return saw_number
 
     grid = [[cell(v) for v in row] for row in rows]
     widths = [
@@ -23,11 +41,16 @@ def render_table(
         else len(headers[col])
         for col in range(len(headers))
     ]
+    right = [numeric(col) for col in range(len(headers))]
+
+    def align(text: str, col: int) -> str:
+        return text.rjust(widths[col]) if right[col] else text.ljust(widths[col])
+
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(align(h, c) for c, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in grid:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(align(v, c) for c, v in enumerate(row)))
     return "\n".join(lines) + "\n"

@@ -48,6 +48,11 @@ def trace_program(
     )
     bus = observer.bus if observer is not None else EventBus()
     collector.subscribe(bus)
+    if observer is not None:
+        observer.bind_run(
+            program, store.labels, block_size=config.block_size,
+            params_fn=params_fn, num_nodes=config.num_nodes,
+        )
     interp = Interpreter(program, store, params_fn=params_fn)
     result = Machine(config, bus=bus, flush_at_barrier=True).run(interp.kernel)
     if observer is not None:
@@ -63,6 +68,11 @@ def run_program(
 ) -> tuple[RunResult, SharedStore]:
     """Timing run (no trace-mode flushing)."""
     store = SharedStore(program, block_size=config.block_size)
+    if observer is not None:
+        observer.bind_run(
+            program, store.labels, block_size=config.block_size,
+            params_fn=params_fn, num_nodes=config.num_nodes,
+        )
     interp = Interpreter(program, store, params_fn=params_fn)
     bus = observer.bus if observer is not None else None
     result = Machine(config, flush_at_barrier=False, bus=bus).run(interp.kernel)

@@ -251,10 +251,11 @@ class Machine:
                 state.clock += cycles
                 if bus.wants(EventKind.DIRECTIVE):
                     shift = self._block_shift
+                    bset = tuple(sorted({a >> shift for a in addrs if a >= 0}))
                     bus.publish(DirectiveEvent(
                         node=nid, epoch=self.epoch, dkind=kind,
-                        blocks=len({a >> shift for a in addrs if a >= 0}),
-                        pc=pc, t=started, cycles=cycles,
+                        blocks=len(bset), pc=pc, t=started, cycles=cycles,
+                        blockset=bset,
                     ))
                 heapq.heappush(heap, (state.clock, nid))
 

@@ -32,6 +32,15 @@ _LAZY = {
     "read_manifest": "repro.obs.export",
     "write_chrome_trace": "repro.obs.export",
     "write_manifest": "repro.obs.export",
+    "AttributionProfiler": "repro.obs.attrib",
+    "SourceMap": "repro.obs.attrib",
+    "folded_stacks": "repro.obs.attrib",
+    "profile_trace": "repro.obs.attrib",
+    "render_profile": "repro.obs.attrib",
+    "bench_workload": "repro.obs.baseline",
+    "diff_benches": "repro.obs.baseline",
+    "read_bench": "repro.obs.baseline",
+    "write_bench": "repro.obs.baseline",
 }
 
 
@@ -46,6 +55,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "AccessEvent",
+    "AttributionProfiler",
     "BarrierEvent",
     "Counter",
     "DirectiveEvent",
@@ -63,10 +73,18 @@ __all__ = [
     "Observation",
     "Observer",
     "RecallEvent",
+    "SourceMap",
     "TrapEvent",
+    "bench_workload",
     "chrome_trace",
+    "diff_benches",
+    "folded_stacks",
     "manifest_records",
+    "profile_trace",
+    "read_bench",
     "read_manifest",
+    "render_profile",
+    "write_bench",
     "write_chrome_trace",
     "write_manifest",
 ]

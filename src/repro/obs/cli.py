@@ -5,10 +5,20 @@ Subcommands::
     repro-obs run --workload ocean --variant cachier \\
         --trace-out ocean.trace.json --manifest-out ocean.manifest.jsonl
     repro-obs summarize ocean.manifest.jsonl
+    repro-obs profile --workload matmul --variant cachier
+    repro-obs bench --workload mp3d --workload ocean --out-dir bench-out
+    repro-obs diff --baseline benchmarks/baselines --against bench-out
 
 ``run`` executes one variant of a built-in workload with the observability
 layer attached and prints the per-epoch activity table; ``summarize``
 re-renders that table from a previously written JSONL manifest.
+
+``profile`` runs a variant under the source-level attribution profiler and
+prints hot structures / hot source lines / the per-epoch annotation audit
+(``--json`` for the raw report, ``--folded`` for flamegraph folded stacks).
+``bench`` freezes per-workload perf baselines into ``BENCH_<w>.json`` files
+and ``diff`` compares two baseline directories, exiting non-zero when any
+variant's cycles regressed past the threshold — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -76,29 +86,33 @@ def render_observation(obs: Observation) -> str:
 
 
 # ---------------------------------------------------------------- commands
-def _cmd_run(args) -> int:
+def _resolve_variant(workload: str, variant: str, policy: str):
+    """Build (spec, program) for one workload variant, annotating when the
+    variant needs it.  Shared by ``run`` and ``profile``."""
     from repro.cachier.annotator import Policy
-    from repro.harness.runner import run_program
     from repro.harness.variants import PLAIN, build_variants
     from repro.workloads.base import get_workload
 
-    spec = get_workload(args.workload)
-    if args.variant == PLAIN:
-        program = spec.program
-    else:
-        variants = build_variants(
-            spec,
-            policy=Policy(args.policy),
-            include_prefetch=args.variant.endswith("+pf"),
+    spec = get_workload(workload)
+    if variant == PLAIN:
+        return spec, spec.program
+    variants = build_variants(
+        spec,
+        policy=Policy(policy),
+        include_prefetch=variant.endswith("+pf"),
+    )
+    if variant not in variants.programs:
+        raise SystemExit(
+            f"workload {workload!r} has no {variant!r} variant "
+            f"(available: {sorted(variants.programs)})"
         )
-        if args.variant not in variants.programs:
-            parser_error = (
-                f"workload {args.workload!r} has no {args.variant!r} variant "
-                f"(available: {sorted(variants.programs)})"
-            )
-            raise SystemExit(parser_error)
-        program = variants.programs[args.variant]
+    return spec, variants.programs[variant]
 
+
+def _cmd_run(args) -> int:
+    from repro.harness.runner import run_program
+
+    spec, program = _resolve_variant(args.workload, args.variant, args.policy)
     observer = Observer(
         include_hits=args.include_hits,
         meta={
@@ -125,6 +139,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_summarize(args) -> int:
     records = read_manifest(args.manifest)
+    if not records:
+        print(f"{args.manifest}: no records (empty or truncated manifest)")
+        return 1
     header = next((r for r in records if r.get("type") == "run"), None)
     if header is None:
         raise SystemExit(f"{args.manifest}: no 'run' record — not a manifest?")
@@ -137,6 +154,112 @@ def _cmd_summarize(args) -> int:
     print(_render_epoch_table(
         epochs, title="per-epoch activity (deltas; * = trailing partial epoch)"
     ))
+    attrib = next((r for r in records if r.get("type") == "attrib"), None)
+    if attrib is not None:
+        from repro.obs.attrib import render_profile
+
+        print()
+        print(render_profile(attrib["attrib"]))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json as _json
+
+    from repro.obs.attrib import folded_stacks, profile_trace, render_profile
+
+    if args.from_trace or args.trace_mode:
+        # Offline join over a collected miss trace (no timing run).
+        from repro.harness.runner import trace_program
+        from repro.workloads.base import get_workload
+
+        spec = get_workload(args.workload)
+        trace = trace_program(spec.program, spec.config, spec.params_fn)
+        report = profile_trace(
+            trace, program=spec.program,
+            name=f"{spec.name}/trace",
+        )
+    else:
+        from repro.harness.runner import run_program
+
+        spec, program = _resolve_variant(
+            args.workload, args.variant, args.policy
+        )
+        observer = Observer(
+            chrome=False, profile=True,
+            meta={"name": f"{spec.name}/{args.variant}",
+                  "workload": args.workload, "variant": args.variant},
+        )
+        run_program(program, spec.config, spec.params_fn, observer=observer)
+        obs = observer.observation
+        assert obs is not None and obs.attrib is not None
+        report = obs.attrib
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    elif args.folded:
+        print(folded_stacks(report))
+    else:
+        print(render_profile(report, top=args.top))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.baseline import (
+        QUICK_WORKLOADS,
+        bench_workload,
+        write_bench,
+    )
+
+    workloads = args.workload or list(QUICK_WORKLOADS)
+    variants = args.variant or None
+    for name in workloads:
+        kwargs = {"trace_dir": args.trace_dir} if args.trace_dir else {}
+        if variants:
+            kwargs["variants"] = tuple(variants)
+        bench = bench_workload(name, **kwargs)
+        path = write_bench(bench, args.out_dir)
+        cyc = {v: rec["cycles"] for v, rec in bench["variants"].items()}
+        print(f"benched {name}: {cyc} -> {path}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import glob
+    import os
+
+    from repro.obs.baseline import (
+        attrib_drift,
+        diff_benches,
+        read_bench,
+        render_diff,
+    )
+
+    base_files = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not base_files:
+        raise SystemExit(f"no BENCH_*.json files under {args.baseline}")
+    rows = []
+    notes = []
+    for base_path in base_files:
+        baseline = read_bench(base_path)
+        cur_path = os.path.join(args.against, os.path.basename(base_path))
+        if not os.path.exists(cur_path):
+            print(f"skipping {baseline['workload']}: "
+                  f"no current bench at {cur_path}")
+            continue
+        current = read_bench(cur_path)
+        rows.extend(diff_benches(baseline, current, threshold=args.threshold))
+        notes.extend(attrib_drift(baseline, current))
+    print(render_diff(rows, args.threshold))
+    if notes:
+        print("attribution drift (informational):")
+        for note in notes:
+            print(f"  {note}")
+    regressions = [r for r in rows if r.regression]
+    if regressions:
+        print(f"{len(regressions)} regression(s) past "
+              f"{args.threshold:.0%} cycle threshold")
+        return 1
+    print("no regressions")
     return 0
 
 
@@ -165,6 +288,63 @@ def main(argv=None) -> int:
     sum_p = sub.add_parser("summarize", help="re-render a JSONL manifest")
     sum_p.add_argument("manifest")
     sum_p.set_defaults(func=_cmd_summarize)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="source-level attribution profile of one workload variant",
+    )
+    prof_p.add_argument("--workload", default="matmul")
+    prof_p.add_argument(
+        "--variant", default="plain",
+        choices=["plain", "hand", "hand+pf", "cachier", "cachier+pf"],
+    )
+    prof_p.add_argument(
+        "--policy", default="performance",
+        choices=["performance", "programmer"],
+    )
+    prof_p.add_argument("--top", type=int, default=10,
+                        help="rows in the hot-structure/hot-line tables")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the structured report as JSON")
+    prof_p.add_argument("--folded", action="store_true",
+                        help="emit flamegraph folded stacks "
+                             "(name;array;line weight)")
+    prof_p.add_argument("--trace-mode", action="store_true",
+                        help="profile the trace-mode run of the unannotated "
+                             "program instead of a timing run")
+    prof_p.add_argument("--from-trace", action="store_true",
+                        help="alias for --trace-mode")
+    prof_p.set_defaults(func=_cmd_profile)
+
+    bench_p = sub.add_parser(
+        "bench", help="write BENCH_<workload>.json perf baselines"
+    )
+    bench_p.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="workload to bench (repeatable; default: the quick set "
+             "mp3d + ocean)",
+    )
+    bench_p.add_argument(
+        "--variant", action="append", metavar="NAME",
+        help="variant to bench (repeatable; default: plain + cachier)",
+    )
+    bench_p.add_argument("--out-dir", default="bench-out",
+                         help="directory for BENCH_*.json files")
+    bench_p.add_argument("--trace-dir", metavar="DIR",
+                         help="also write a Chrome trace per variant here")
+    bench_p.set_defaults(func=_cmd_bench)
+
+    diff_p = sub.add_parser(
+        "diff", help="compare bench directories, gate on cycle regressions"
+    )
+    diff_p.add_argument("--baseline", required=True,
+                        help="directory holding the baseline BENCH_*.json")
+    diff_p.add_argument("--against", default="bench-out",
+                        help="directory holding the current BENCH_*.json")
+    diff_p.add_argument("--threshold", type=float, default=0.10,
+                        help="cycle-growth fraction that counts as a "
+                             "regression (default 0.10)")
+    diff_p.set_defaults(func=_cmd_diff)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -62,7 +62,13 @@ class AccessEvent:
 
 @dataclass(frozen=True, slots=True)
 class DirectiveEvent:
-    """One CICO directive issue (check_out / check_in / prefetch)."""
+    """One CICO directive issue (check_out / check_in / prefetch).
+
+    ``blockset`` carries the distinct block numbers the directive covered
+    (sorted); ``blocks`` is kept as the count for cheap consumers.  The
+    attribution profiler needs the identities to audit annotation
+    effectiveness (was a checked-out block ever re-referenced?).
+    """
 
     kind: ClassVar[EventKind] = EventKind.DIRECTIVE
     node: int
@@ -72,6 +78,7 @@ class DirectiveEvent:
     pc: int
     t: int
     cycles: int
+    blockset: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

@@ -90,6 +90,8 @@ def manifest_records(obs: Observation) -> Iterator[dict]:
     for sample in obs.timeline:
         yield {"type": "epoch", **sample.to_dict()}
     yield {"type": "metrics", "metrics": obs.metrics}
+    if obs.attrib is not None:
+        yield {"type": "attrib", "attrib": obs.attrib}
 
 
 def write_manifest(obs: Observation, path: str) -> None:
@@ -100,11 +102,30 @@ def write_manifest(obs: Observation, path: str) -> None:
 
 
 def read_manifest(path: str) -> list[dict]:
-    """Parse a JSONL manifest back into its records."""
-    records = []
+    """Parse a JSONL manifest back into its records.
+
+    Blank lines are skipped and a *trailing* partial line (a run cut off
+    mid-write) is ignored; corruption anywhere else raises
+    :class:`~repro.errors.ObsError` naming the offending line.
+    """
+    from repro.errors import ObsError
+
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = fh.readlines()
+    records = []
+    bad: tuple[int, str] | None = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if bad is not None:
+            # A parse failure followed by more content is corruption, not a
+            # truncated tail.
+            raise ObsError(
+                f"{path}:{bad[0]}: invalid manifest record: {bad[1]}"
+            )
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            bad = (lineno, str(exc))
     return records

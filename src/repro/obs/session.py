@@ -56,6 +56,8 @@ class Observation:
     cycles: int
     epochs: int
     meta: dict = field(default_factory=dict)  # workload/variant/config info
+    #: attribution report (repro.obs.attrib) when the run was profiled
+    attrib: dict | None = None
 
     def metric(self, name: str, default=0):
         return self.metrics.get(name, default)
@@ -77,6 +79,11 @@ class Observer:
     meta:
         Free-form run description copied into the Observation and exported
         manifests (workload name, variant, config, ...).
+    profile:
+        Attach a source-level :class:`~repro.obs.attrib.AttributionProfiler`
+        when the run is bound (the harness calls :meth:`bind_run` with the
+        program and labelled-region table); the report lands on
+        ``Observation.attrib``.
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class Observer:
         chrome: bool = True,
         include_hits: bool = False,
         meta: dict | None = None,
+        profile: bool = False,
     ):
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -94,6 +102,8 @@ class Observer:
         self.trace_events: list[dict] = []
         self.observation: Observation | None = None  # set by finalize()
         self._chrome = chrome
+        self._profile = profile
+        self.profiler = None  # AttributionProfiler, set by bind_run
         self._tokens: list[int] = []
         self._max_node = -1
 
@@ -239,6 +249,40 @@ class Observer:
         self._c_nodes_done.inc()
 
     # ------------------------------------------------------------ lifecycle
+    def bind_run(
+        self,
+        program,
+        labels,
+        block_size: int = 32,
+        params_fn=None,
+        num_nodes: int = 0,
+    ) -> None:
+        """Give the observer the run's static context (called by the harness
+        entry points before the machine starts).
+
+        When the observer was created with ``profile=True`` this attaches an
+        :class:`~repro.obs.attrib.AttributionProfiler` joining the event
+        stream with the labelled-region table, the program's line table and
+        — when the parameter environment is available — the symbolic
+        footprint matcher of :mod:`repro.cachier.mapping`.
+        """
+        if not self._profile or self.profiler is not None:
+            return
+        from repro.obs.attrib import AttributionProfiler, SourceMap
+
+        env = None
+        if params_fn is not None and num_nodes > 0:
+            from repro.cachier.mapping import ParamEnv
+
+            env = ParamEnv(params_fn, num_nodes)
+        self.profiler = AttributionProfiler(
+            labels=labels,
+            block_size=block_size,
+            source=SourceMap(program),
+            env=env,
+        )
+        self._tokens += self.profiler.attach(self.bus)
+
     def detach(self) -> None:
         """Drop every subscription this observer holds on the bus."""
         for token in self._tokens:
@@ -249,6 +293,10 @@ class Observer:
         """Freeze the observation and attach it to ``result.obs``."""
         self.timeline.finalize(result.cycles)
         num_nodes = max(len(result.per_node), self._max_node + 1)
+        attrib = None
+        if self.profiler is not None:
+            self.profiler.finalize(result.cycles)
+            attrib = self.profiler.report(name=self.meta.get("name", "run"))
         obs = Observation(
             metrics=self.registry.snapshot(),
             timeline=list(self.timeline.samples),
@@ -257,6 +305,7 @@ class Observer:
             cycles=result.cycles,
             epochs=result.epochs,
             meta=dict(self.meta),
+            attrib=attrib,
         )
         self.observation = obs
         result.obs = obs

@@ -33,6 +33,13 @@ class TraceCollector:
         self._misses: list[MissRecord] = []
         self._barriers: list[BarrierRecord] = []
 
+    @property
+    def labels(self) -> LabelTable | None:
+        """The labelled-region table addresses are joined against — the same
+        table an attribution profiler on this bus should be given, so the
+        two agree on structure names."""
+        return self._labels
+
     # --------------------------------------------------------------- bus API
     def subscribe(self, bus: EventBus) -> list[int]:
         """Attach to a machine's event bus; returns the subscription tokens."""

@@ -38,6 +38,19 @@ class WorkloadSpec:
     def cachier_cache_size(self) -> int:
         return self.annotator_cache_size or self.config.cache_size
 
+    def bench_meta(self) -> dict:
+        """Machine/problem-size description stamped into BENCH files and
+        run manifests, so a diff can refuse to compare unlike runs."""
+        return {
+            "config": {
+                "num_nodes": self.config.num_nodes,
+                "cache_size": self.config.cache_size,
+                "block_size": self.config.block_size,
+                "assoc": self.config.assoc,
+            },
+            "data": dict(self.data),
+        }
+
 
 _REGISTRY: dict[str, Callable[..., WorkloadSpec]] = {}
 

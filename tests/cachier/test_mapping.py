@@ -6,7 +6,7 @@ import pytest
 
 from repro.cachier.mapping import ParamEnv, symbolize
 from repro.errors import CachierError
-from repro.lang.ast import Bin, Const, Param, RangeSpec
+from repro.lang.ast import Bin, Const, Param
 from repro.lang.unparse import target_str
 from repro.mem.labels import ArrayLabel
 from repro.mem.layout import AddressSpace
@@ -32,6 +32,16 @@ class TestParamEnv:
     def test_bad_node_count(self):
         with pytest.raises(CachierError):
             ParamEnv(lambda n: {}, 0)
+
+    def test_unknown_parameter_names_node_and_param(self):
+        env = env_of([{"L": 0}, {"L": 4}])
+        with pytest.raises(CachierError, match=r"node 1 has no parameter 'U'"):
+            env.value(1, "U")
+
+    def test_unknown_node_names_valid_range(self):
+        env = env_of([{"L": 0}, {"L": 4}])
+        with pytest.raises(CachierError, match=r"node 5 \(have nodes 0\.\.1\)"):
+            env.value(5, "L")
 
     def test_match_constant(self):
         env = env_of([{"L": 0}, {"L": 4}])

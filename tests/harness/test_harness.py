@@ -40,6 +40,31 @@ class TestReporting:
         text = render_table(["h1"], [])
         assert "h1" in text
 
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(
+            ["name", "count", "ratio"],
+            [["a", 5, 0.5], ["bb", 12345, 12.125]],
+        )
+        header, _, row_a, row_b = text.splitlines()
+        assert header.endswith(" ratio")
+        # Short numbers are padded on the left, so digits line up.
+        assert row_a.index("5") > row_b.index("1")
+        assert row_a.endswith(" 0.500")
+        assert row_b.endswith("12.125")
+
+    def test_placeholders_keep_column_numeric(self):
+        text = render_table(
+            ["v", "n"],
+            [["x", 7], ["y", "-"], ["z", ""]],
+        )
+        _, _, row_x, row_y, _ = text.splitlines()
+        assert row_x.endswith(" 7")
+        assert row_y.endswith(" -")
+
+    def test_string_columns_stay_left_aligned(self):
+        text = render_table(["s"], [["ab"], ["abcdef"]])
+        assert text.splitlines()[2] == "ab    "
+
 
 class TestVariants:
     @pytest.fixture(scope="class")
