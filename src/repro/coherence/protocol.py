@@ -54,6 +54,9 @@ class AccessResult:
     cycles: int
     kind: AccessKind
     detail: str = ""  # memory / recall / inv1 / trap / upgrade_fast / prefetched
+    #: slow-path transaction id joining this access to the TrapEvent /
+    #: RecallEvent / MessageEvents it caused (-1 for hits)
+    txn: int = -1
 
 
 @dataclass(slots=True)
@@ -97,6 +100,7 @@ class Dir1SWProtocol:
         self.stats = [CacheStats() for _ in range(num_nodes)]
         self.proto_stats = ProtocolStats()
         self.directory = Directory()
+        self._txn_next = 0  # machine-unique slow-path transaction ids
         self._pending: list[dict[int, _Pending]] = [{} for _ in range(num_nodes)]
         # Per-home-node directory occupancy (contention model; see
         # CostModel.dir_occupancy_cycles).  Blocks are distributed round-
@@ -112,6 +116,19 @@ class Dir1SWProtocol:
         start = max(now, self._home_free[home])
         self._home_free[home] = start + service
         return start - now
+
+    def _begin_txn(self, node: int, now: int) -> int:
+        """Open a slow-path transaction: allocate its id and stamp the
+        network context so every message/trap/recall it raises is joinable."""
+        txn = self._txn_next
+        self._txn_next += 1
+        self.network.begin(node=node, t=now, txn=txn)
+        return txn
+
+    def set_epoch(self, epoch: int) -> None:
+        """Tell the traffic accounting which epoch is running (machine calls
+        this at every barrier crossing)."""
+        self.network.epoch = epoch
 
     # ------------------------------------------------------------------ util
     def totals(self) -> CacheStats:
@@ -160,9 +177,10 @@ class Dir1SWProtocol:
             self.proto_stats.recalls += 1
             bus = self.bus
             if bus is not None and bus.wants(EventKind.RECALL):
+                net = self.network
                 bus.publish(RecallEvent(
                     node=node, owner=owner, block=block,
-                    dirty=was_dirty, exclusive=False,
+                    dirty=was_dirty, exclusive=False, t=net.t, txn=net.txn,
                 ))
             return self.cost.miss_with_recall(), "recall"
         # IDLE or RO: memory supplies the data.
@@ -198,9 +216,10 @@ class Dir1SWProtocol:
             self.proto_stats.recalls += 1
             bus = self.bus
             if bus is not None and bus.wants(EventKind.RECALL):
+                net = self.network
                 bus.publish(RecallEvent(
                     node=node, owner=owner, block=block,
-                    dirty=dirty, exclusive=True,
+                    dirty=dirty, exclusive=True, t=net.t, txn=net.txn,
                 ))
             return self.cost.miss_with_recall(), "recall"
         # RO: sharers must be invalidated first.
@@ -223,7 +242,8 @@ class Dir1SWProtocol:
         count = entry.count
         self.network.send(MessageKind.BCAST_INV, count)
         self.network.send(MessageKind.ACK, count)
-        for holder in self.directory.clear_all_holders(block):
+        holders = self.directory.clear_all_holders(block)
+        for holder in holders:
             self.caches[holder].invalidate(block)
             self._pending[holder].pop(block, None)
         self.directory.make_owner(block, node)
@@ -232,8 +252,10 @@ class Dir1SWProtocol:
         self.proto_stats.bcast_invalidations += count
         bus = self.bus
         if bus is not None and bus.wants(EventKind.TRAP):
+            net = self.network
             bus.publish(TrapEvent(node=node, block=block, copies=count,
-                                  upgrade=False))
+                                  upgrade=False, t=net.t, txn=net.txn,
+                                  holders=tuple(sorted(holders))))
         return self.cost.sw_trap(count) + self.cost.mem_cycles, "trap"
 
     def _upgrade(self, node: int, block: int) -> tuple[int, str]:
@@ -253,7 +275,8 @@ class Dir1SWProtocol:
         others = entry.count - 1
         self.network.send(MessageKind.BCAST_INV, others)
         self.network.send(MessageKind.ACK, others)
-        for holder in self.directory.clear_all_holders(block):
+        holders = self.directory.clear_all_holders(block)
+        for holder in holders:
             if holder != node:
                 self.caches[holder].invalidate(block)
                 self._pending[holder].pop(block, None)
@@ -262,8 +285,11 @@ class Dir1SWProtocol:
         self.proto_stats.bcast_invalidations += others
         bus = self.bus
         if bus is not None and bus.wants(EventKind.TRAP):
+            net = self.network
             bus.publish(TrapEvent(node=node, block=block, copies=others,
-                                  upgrade=True))
+                                  upgrade=True, t=net.t, txn=net.txn,
+                                  holders=tuple(sorted(
+                                      h for h in holders if h != node))))
         return self.cost.sw_trap(others), "trap"
 
     # ------------------------------------------------------------- accesses
@@ -289,12 +315,13 @@ class Dir1SWProtocol:
             stats.hits += 1
             return AccessResult(self.cost.hit_cycles, AccessKind.HIT)
         self._pending[node].pop(block, None)  # stale pending (line was stolen)
+        txn = self._begin_txn(node, now)
         cycles, detail = self._acquire_shared(node, block)
         cycles += self._contend(block, now)
         self._insert(node, block, LineState.SHARED, dirty=False)
         stats.read_misses += 1
         stats.stall_cycles += cycles
-        return AccessResult(cycles, AccessKind.READ_MISS, detail)
+        return AccessResult(cycles, AccessKind.READ_MISS, detail, txn)
 
     def write(self, node: int, block: int, now: int = 0) -> AccessResult:
         stats = self.stats[node]
@@ -311,20 +338,24 @@ class Dir1SWProtocol:
             return AccessResult(self.cost.hit_cycles, AccessKind.HIT)
         if line is not None:  # SHARED: write fault (upgrade)
             wait = self._pending_wait(node, block, now) or 0
+            txn = self._begin_txn(node, now)
             cycles, detail = self._upgrade(node, block)
             cycles += self._contend(block, now)
             line.state = LineState.EXCLUSIVE
             line.dirty = True
             stats.write_faults += 1
             stats.stall_cycles += cycles + wait
-            return AccessResult(cycles + wait, AccessKind.WRITE_FAULT, detail)
+            return AccessResult(
+                cycles + wait, AccessKind.WRITE_FAULT, detail, txn
+            )
         self._pending[node].pop(block, None)
+        txn = self._begin_txn(node, now)
         cycles, detail = self._acquire_exclusive(node, block)
         cycles += self._contend(block, now)
         self._insert(node, block, LineState.EXCLUSIVE, dirty=True)
         stats.write_misses += 1
         stats.stall_cycles += cycles
-        return AccessResult(cycles, AccessKind.WRITE_MISS, detail)
+        return AccessResult(cycles, AccessKind.WRITE_MISS, detail, txn)
 
     # ------------------------------------------------------------ directives
     def check_out(self, node: int, block: int, exclusive: bool, now: int = 0) -> int:
@@ -337,12 +368,14 @@ class Dir1SWProtocol:
             if line is not None and line.state is LineState.EXCLUSIVE:
                 return cycles  # already checked out: pure overhead
             if line is not None:  # SHARED -> upgrade now, off the write path
+                self._begin_txn(node, now)
                 up_cycles, _ = self._upgrade(node, block)
                 up_cycles += self._contend(block, now)
                 line.state = LineState.EXCLUSIVE
                 stats.write_faults += 1
                 stats.stall_cycles += up_cycles
                 return cycles + up_cycles
+            self._begin_txn(node, now)
             acq_cycles, _ = self._acquire_exclusive(node, block)
             acq_cycles += self._contend(block, now)
             self._insert(node, block, LineState.EXCLUSIVE, dirty=False)
@@ -351,6 +384,7 @@ class Dir1SWProtocol:
             return cycles + acq_cycles
         if line is not None:
             return cycles  # any copy satisfies check_out_S
+        self._begin_txn(node, now)
         acq_cycles, _ = self._acquire_shared(node, block)
         acq_cycles += self._contend(block, now)
         self._insert(node, block, LineState.SHARED, dirty=False)
@@ -358,13 +392,14 @@ class Dir1SWProtocol:
         stats.stall_cycles += acq_cycles
         return cycles + acq_cycles
 
-    def check_in(self, node: int, block: int) -> int:
+    def check_in(self, node: int, block: int, now: int = 0) -> int:
         """Explicit CICO check-in: flush our copy back to the directory."""
         stats = self.stats[node]
         stats.checkins += 1
         line = self.caches[node].invalidate(block)
         self._pending[node].pop(block, None)
         if line is not None:
+            self._begin_txn(node, now)
             self.network.send(MessageKind.CHECKIN)
             if line.dirty:
                 stats.writebacks += 1
@@ -392,6 +427,7 @@ class Dir1SWProtocol:
             self.proto_stats.prefetch_dropped += 1
             return cycles
         entry = self.directory.entry(block)
+        self._begin_txn(node, now)
         self.network.send(MessageKind.PREFETCH)
         if exclusive:
             if line is not None:
@@ -417,9 +453,10 @@ class Dir1SWProtocol:
         return cycles
 
     # ------------------------------------------------------------- flushing
-    def flush_node(self, node: int) -> int:
+    def flush_node(self, node: int, now: int = 0) -> int:
         """Invalidate every line (trace-mode barrier flush).  Returns the
         number of lines flushed; costs nothing (instrumentation artefact)."""
+        self.network.begin(node=node, t=now, txn=-1)
         lines = self.caches[node].flush_all()
         for line in lines:
             if line.dirty:

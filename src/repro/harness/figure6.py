@@ -80,6 +80,7 @@ def _obs_factory(name: str, obs_dir: str):
 
         return _ExportingObserver(
             profile=True,
+            critpath=True,
             meta={"name": f"{name}/{variant}",
                   "benchmark": name, "variant": variant},
         )

@@ -347,11 +347,13 @@ class Machine:
                 epoch=self.epoch, vt=vt,
                 node_pcs={nid: nodes[nid].barrier_pc for nid in waiters},
                 resume=resume,
+                node_clocks={nid: nodes[nid].clock for nid in waiters},
             ))
         if self.flush_at_barrier:
             for nid in waiters:
-                self.protocol.flush_node(nid)
+                self.protocol.flush_node(nid, now=vt)
         self.epoch += 1
+        self.protocol.set_epoch(self.epoch)
         for nid in waiters:
             nodes[nid].at_barrier = False
             nodes[nid].clock = resume
@@ -370,7 +372,7 @@ class Machine:
             elif kind == DIR_CHECK_OUT_X:
                 cycles += proto.check_out(node, block, exclusive=True, now=at)
             elif kind == DIR_CHECK_IN:
-                cycles += proto.check_in(node, block)
+                cycles += proto.check_in(node, block, now=at)
             elif kind == DIR_PREFETCH_S:
                 cycles += proto.prefetch(node, block, exclusive=False, now=at)
             elif kind == DIR_PREFETCH_X:

@@ -5,6 +5,15 @@ contention-free interconnect (100 cycles per message in the configuration the
 CICO papers used); we default to the same.  What the CICO annotations change
 is *how many* protocol messages are sent and *how many* of them sit on an
 access's critical path — both are counted here.
+
+Message context
+---------------
+Every ``send`` happens inside some protocol operation; the protocol calls
+:meth:`Network.begin` at the start of each one to stamp the context — the
+requesting ``node``, the operation's start clock ``t`` and its transaction
+id ``txn`` — onto the :class:`~repro.obs.events.MessageEvent`\\ s the sends
+publish.  ``epoch`` is advanced by the machine at every barrier.  The
+context is bookkeeping only; it never changes latencies or traffic counts.
 """
 
 from __future__ import annotations
@@ -22,14 +31,28 @@ class Network:
 
     hop_latency: int = 100
     bus: EventBus | None = None  # publishes per-message MessageEvents
+    # context of the protocol operation currently sending (see module doc)
+    node: int = -1
+    epoch: int = 0
+    t: int = 0
+    txn: int = -1
     _traffic: Counter = field(default_factory=Counter)
+
+    def begin(self, node: int, t: int, txn: int = -1) -> None:
+        """Stamp the context for the sends of one protocol operation."""
+        self.node = node
+        self.t = t
+        self.txn = txn
 
     def send(self, kind: MessageKind, count: int = 1) -> None:
         """Record ``count`` messages of ``kind`` (traffic accounting only)."""
         self._traffic[kind] += count
         bus = self.bus
         if bus is not None and bus.wants(EventKind.MESSAGE):
-            bus.publish(MessageEvent(msg=kind, count=count))
+            bus.publish(MessageEvent(
+                msg=kind, count=count, node=self.node, epoch=self.epoch,
+                t=self.t, txn=self.txn,
+            ))
 
     def hops(self, n: int) -> int:
         """Latency of ``n`` sequential message hops on the critical path."""

@@ -143,6 +143,9 @@ class _EpochAudit:
     checkouts: int = 0
     checkins: int = 0
     messages: int = 0
+    #: requesting node -> messages its transactions sent this epoch
+    #: (node -1 collects traffic outside any transaction, e.g. flushes)
+    messages_by_node: dict[int, int] = field(default_factory=dict)
 
 
 class AttributionProfiler:
@@ -310,7 +313,11 @@ class AttributionProfiler:
         self._pending.setdefault(ev.node, []).append(ev)
 
     def _on_message(self, ev: MessageEvent) -> None:
-        self._audit.messages += ev.count
+        audit = self._audit
+        audit.messages += ev.count
+        audit.messages_by_node[ev.node] = (
+            audit.messages_by_node.get(ev.node, 0) + ev.count
+        )
 
     def _on_lock(self, ev: LockEvent) -> None:
         cell = self._cell(self._array_of_addr(ev.addr), ev.pc, self._epoch)
@@ -344,6 +351,9 @@ class AttributionProfiler:
             "label": label,
             "cycles": max(end_vt - self._prev_vt, 0),
             "messages": audit.messages,
+            "messages_by_node": sorted(
+                [n, c] for n, c in audit.messages_by_node.items()
+            ),
             "missed_pairs": len(audit.missed_pairs),
             "directive_pairs": covered,
             "coverage": covered / acquired if acquired else None,

@@ -50,7 +50,7 @@ def _variant_record(result, obs) -> dict:
                 "misses": row["misses"],
                 "stall_cycles": row["stall_cycles"],
             }
-    return {
+    record = {
         "cycles": result.cycles,
         "epochs": result.epochs,
         "misses": {
@@ -64,6 +64,16 @@ def _variant_record(result, obs) -> dict:
         "locks_contended": int(m.get("locks.contended", 0)),
         "attrib": digest,
     }
+    if obs.critpath is not None:
+        # Straggler digest: share of the run spent stalled on the critical
+        # path, and which node was critical most often.  ``diff`` flags
+        # drift in these as informational notes.
+        straggler = obs.critpath["straggler_epochs"]
+        record["critical_path_fraction"] = round(
+            obs.critpath["critical_path_fraction"], 6
+        )
+        record["top_straggler"] = straggler[0] if straggler else None
+    return record
 
 
 def bench_workload(
@@ -110,7 +120,7 @@ def bench_workload(
                 f"(available: {sorted(programs)})"
             )
         observer = Observer(
-            chrome=chrome, profile=True,
+            chrome=chrome, profile=True, critpath=True,
             meta={"name": f"{name}/{variant}", "workload": name,
                   "variant": variant},
         )
@@ -227,6 +237,40 @@ def attrib_drift(baseline: dict, current: dict) -> list[str]:
     return notes
 
 
+def straggler_drift(
+    baseline: dict, current: dict, threshold: float = 0.05
+) -> list[str]:
+    """Notes on critical-path drift between two benches (informational).
+
+    Flags a variant when its ``critical_path_fraction`` moved by more than
+    ``threshold`` (absolute), or when a *different* node became the top
+    straggler — both say "the epochs are now bound by something else", which
+    a raw cycle diff can hide.
+    """
+    notes = []
+    for variant in sorted(baseline["variants"]):
+        if variant not in current["variants"]:
+            continue
+        base = baseline["variants"][variant]
+        cur = current["variants"][variant]
+        b_frac = base.get("critical_path_fraction")
+        c_frac = cur.get("critical_path_fraction")
+        if b_frac is not None and c_frac is not None:
+            if abs(c_frac - b_frac) > threshold:
+                notes.append(
+                    f"{variant}: critical_path_fraction "
+                    f"{b_frac:.3f} -> {c_frac:.3f} ({c_frac - b_frac:+.3f})"
+                )
+        b_top = base.get("top_straggler")
+        c_top = cur.get("top_straggler")
+        if b_top and c_top and b_top[0] != c_top[0]:
+            notes.append(
+                f"{variant}: top straggler moved from node {b_top[0]} "
+                f"({b_top[1]} epochs) to node {c_top[0]} ({c_top[1]} epochs)"
+            )
+    return notes
+
+
 def render_diff(rows: list[DiffRow], threshold: float) -> str:
     from repro.harness.reporting import render_table
 
@@ -261,5 +305,6 @@ __all__ = [
     "diff_benches",
     "read_bench",
     "render_diff",
+    "straggler_drift",
     "write_bench",
 ]

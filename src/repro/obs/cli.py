@@ -6,6 +6,7 @@ Subcommands::
         --trace-out ocean.trace.json --manifest-out ocean.manifest.jsonl
     repro-obs summarize ocean.manifest.jsonl
     repro-obs profile --workload matmul --variant cachier
+    repro-obs critpath --workload mp3d --variant plain --top 5
     repro-obs bench --workload mp3d --workload ocean --out-dir bench-out
     repro-obs diff --baseline benchmarks/baselines --against bench-out
 
@@ -16,6 +17,9 @@ re-renders that table from a previously written JSONL manifest.
 ``profile`` runs a variant under the source-level attribution profiler and
 prints hot structures / hot source lines / the per-epoch annotation audit
 (``--json`` for the raw report, ``--folded`` for flamegraph folded stacks).
+``critpath`` runs a variant under the critical-path analyzer and prints the
+per-epoch straggler table plus the what-if ranking of candidate CICO sites
+by estimated epoch-time savings (``--json`` for the raw report).
 ``bench`` freezes per-workload perf baselines into ``BENCH_<w>.json`` files
 and ``diff`` compares two baseline directories, exiting non-zero when any
 variant's cycles regressed past the threshold — the CI perf gate.
@@ -203,6 +207,32 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_critpath(args) -> int:
+    import json as _json
+
+    from repro.harness.runner import run_program
+    from repro.obs.critpath import render_critpath
+
+    spec, program = _resolve_variant(args.workload, args.variant, args.policy)
+    observer = Observer(
+        chrome=bool(args.trace_out), critpath=True,
+        meta={"name": f"{spec.name}/{args.variant}",
+              "workload": args.workload, "variant": args.variant},
+    )
+    run_program(program, spec.config, spec.params_fn, observer=observer)
+    obs = observer.observation
+    assert obs is not None and obs.critpath is not None
+    if args.json:
+        print(_json.dumps(obs.critpath, indent=2, sort_keys=True))
+    else:
+        print(render_critpath(obs.critpath, top=args.top))
+    if args.trace_out:
+        write_chrome_trace(obs, args.trace_out)
+        print(f"chrome trace with flow arrows written to {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.baseline import (
         QUICK_WORKLOADS,
@@ -232,6 +262,7 @@ def _cmd_diff(args) -> int:
         diff_benches,
         read_bench,
         render_diff,
+        straggler_drift,
     )
 
     base_files = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
@@ -248,10 +279,15 @@ def _cmd_diff(args) -> int:
             continue
         current = read_bench(cur_path)
         rows.extend(diff_benches(baseline, current, threshold=args.threshold))
-        notes.extend(attrib_drift(baseline, current))
+        workload = current.get("workload", "?")
+        notes.extend(
+            f"{workload}/{note}"
+            for note in attrib_drift(baseline, current)
+            + straggler_drift(baseline, current)
+        )
     print(render_diff(rows, args.threshold))
     if notes:
-        print("attribution drift (informational):")
+        print("attribution / straggler drift (informational):")
         for note in notes:
             print(f"  {note}")
     regressions = [r for r in rows if r.regression]
@@ -315,6 +351,29 @@ def main(argv=None) -> int:
     prof_p.add_argument("--from-trace", action="store_true",
                         help="alias for --trace-mode")
     prof_p.set_defaults(func=_cmd_profile)
+
+    crit_p = sub.add_parser(
+        "critpath",
+        help="per-epoch critical-path / straggler analysis with a what-if "
+             "ranking of candidate CICO sites",
+    )
+    crit_p.add_argument("--workload", default="matmul")
+    crit_p.add_argument(
+        "--variant", default="plain",
+        choices=["plain", "hand", "hand+pf", "cachier", "cachier+pf"],
+    )
+    crit_p.add_argument(
+        "--policy", default="performance",
+        choices=["performance", "programmer"],
+    )
+    crit_p.add_argument("--top", type=int, default=10,
+                        help="rows in the what-if ranking table")
+    crit_p.add_argument("--json", action="store_true",
+                        help="emit the structured report as JSON")
+    crit_p.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace with per-transaction "
+                             "flow arrows")
+    crit_p.set_defaults(func=_cmd_critpath)
 
     bench_p = sub.add_parser(
         "bench", help="write BENCH_<workload>.json perf baselines"

@@ -17,12 +17,26 @@ work on the publishing side that is not behind such a guard.
 Timestamps are node virtual-time cycles.  ``t`` is the clock at which the
 event *starts* (for spans, the duration is carried separately), so events
 map directly onto Chrome trace-event ``ts``/``dur`` fields.
+
+Transaction ids
+---------------
+Every slow-path coherence transaction — a demand miss, a write fault, an
+explicit directive that performs an acquisition, a prefetch or check-in —
+is assigned a machine-unique ``txn`` id by the protocol when it begins.
+The :class:`TrapEvent`\\ s, :class:`RecallEvent`\\ s and
+:class:`MessageEvent`\\ s raised *inside* the transaction carry that id, and
+the transaction's outcome carries it on ``AccessResult.txn``, so the whole
+causal chain (miss -> Dir1SW trap -> recall -> network messages ->
+completion) is joinable after the fact.  ``txn == -1`` means "not part of
+a slow-path transaction" (hits, flushes).  The critical-path layer
+(:mod:`repro.obs.critpath`) and the Perfetto flow arrows of the Chrome
+exporter are built on this join.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
 
 from repro.coherence.messages import MessageKind
@@ -83,13 +97,20 @@ class DirectiveEvent:
 
 @dataclass(frozen=True, slots=True)
 class BarrierEvent:
-    """All live nodes crossed a barrier; the epoch counter advances."""
+    """All live nodes crossed a barrier; the epoch counter advances.
+
+    ``node_clocks`` carries each waiter's arrival clock at the barrier —
+    the raw material of straggler analysis: the epoch's length is the max
+    over these, the per-node *slack* is ``vt - node_clocks[n]``, and the
+    node with zero slack is the epoch's critical node.
+    """
 
     kind: ClassVar[EventKind] = EventKind.BARRIER
     epoch: int  # the epoch that just ended
     vt: int  # virtual time of the crossing (max waiter clock)
     node_pcs: dict[int, int]
     resume: int  # clock the released nodes restart from
+    node_clocks: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,13 +131,21 @@ class LockEvent:
 
 @dataclass(frozen=True, slots=True)
 class TrapEvent:
-    """Dir1SW software trap: broadcast invalidation of ``copies`` sharers."""
+    """Dir1SW software trap: broadcast invalidation of ``copies`` sharers.
+
+    ``holders`` names the nodes whose copies the broadcast killed, so the
+    trace exporter can draw flow arrows from the trapping access to every
+    invalidated node's track.
+    """
 
     kind: ClassVar[EventKind] = EventKind.TRAP
     node: int  # the requester whose access trapped
     block: int
     copies: int  # sharers invalidated by the broadcast
     upgrade: bool  # True when raised on a write fault (S -> X)
+    t: int = -1  # clock the enclosing transaction started
+    txn: int = -1  # enclosing slow-path transaction id
+    holders: tuple[int, ...] = ()  # nodes invalidated by the broadcast
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,15 +158,27 @@ class RecallEvent:
     block: int
     dirty: bool  # owner's copy was dirty (writeback on the recall path)
     exclusive: bool  # requester wanted an exclusive copy
+    t: int = -1  # clock the enclosing transaction started
+    txn: int = -1  # enclosing slow-path transaction id
 
 
 @dataclass(frozen=True, slots=True)
 class MessageEvent:
-    """``count`` protocol messages of one kind entered the network."""
+    """``count`` protocol messages of one kind entered the network.
+
+    ``node`` is the requester whose transaction sent the messages (the
+    network context set by the protocol at operation start), ``epoch``/``t``
+    place the traffic on the run's timeline, and ``txn`` joins it to the
+    enclosing slow-path transaction (-1 outside one, e.g. barrier flushes).
+    """
 
     kind: ClassVar[EventKind] = EventKind.MESSAGE
     msg: MessageKind
     count: int = 1
+    node: int = -1
+    epoch: int = 0
+    t: int = 0
+    txn: int = -1
 
 
 @dataclass(frozen=True, slots=True)

@@ -5,11 +5,14 @@ Chrome trace
 :func:`chrome_trace` renders an :class:`~repro.obs.session.Observation`
 into the Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON
 object), loadable in Perfetto (https://ui.perfetto.dev) or
-``chrome://tracing``.  Layout: one process ("machine"), one thread track
-per simulated node, ``X`` (complete) spans for misses / directives / lock
-waits, and a global ``i`` (instant) marker per barrier crossing.
-Timestamps are simulated *cycles*, not microseconds — relative placement is
-what matters.
+``chrome://tracing``.  Layout: one process per simulated node
+(``pid == node``) ordered numerically via ``process_sort_index`` metadata,
+plus a synthetic "network" process; ``X`` (complete) spans for misses /
+directives / lock waits / recall service / invalidations / per-transaction
+message batches, a global ``i`` (instant) marker per barrier crossing, and
+``s``/``t``/``f`` flow arrows joining each slow-path transaction's spans
+across tracks (see :mod:`repro.obs.session`).  Timestamps are simulated
+*cycles*, not microseconds — relative placement is what matters.
 
 Run manifest
 ------------
@@ -24,7 +27,7 @@ from __future__ import annotations
 import json
 from typing import Iterator
 
-from repro.obs.session import Observation
+from repro.obs.session import NETWORK_PID, Observation
 
 MANIFEST_VERSION = 1
 
@@ -32,31 +35,53 @@ MANIFEST_VERSION = 1
 # ------------------------------------------------------------ chrome trace
 def chrome_trace(obs: Observation) -> dict:
     """Assemble the full Chrome trace-event JSON object."""
-    events: list[dict] = [
-        {
+    run_name = obs.meta.get("name", "machine")
+    events: list[dict] = []
+    for node in range(obs.num_nodes):
+        # One process per node, ordered numerically in Perfetto.
+        events.append({
             "name": "process_name",
             "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": obs.meta.get("name", "machine")},
-        }
-    ]
-    for node in range(obs.num_nodes):
-        events.append({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
+            "pid": node,
             "tid": node,
-            "args": {"name": f"node {node}"},
+            "args": {"name": f"{run_name}: node {node}"},
         })
-        # Pin the track order to the node id.
         events.append({
-            "name": "thread_sort_index",
+            "name": "process_sort_index",
             "ph": "M",
-            "pid": 0,
+            "pid": node,
             "tid": node,
             "args": {"sort_index": node},
         })
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": node,
+            "tid": node,
+            "args": {"name": f"node {node}"},
+        })
+        events.append({
+            "name": "thread_sort_index",
+            "ph": "M",
+            "pid": node,
+            "tid": node,
+            "args": {"sort_index": node},
+        })
+    # The synthetic network track sorts after every node process.
+    events.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": NETWORK_PID,
+        "tid": 0,
+        "args": {"name": f"{run_name}: network"},
+    })
+    events.append({
+        "name": "process_sort_index",
+        "ph": "M",
+        "pid": NETWORK_PID,
+        "tid": 0,
+        "args": {"sort_index": NETWORK_PID},
+    })
     events.extend(obs.trace_events)
     return {
         "traceEvents": events,
@@ -92,6 +117,8 @@ def manifest_records(obs: Observation) -> Iterator[dict]:
     yield {"type": "metrics", "metrics": obs.metrics}
     if obs.attrib is not None:
         yield {"type": "attrib", "attrib": obs.attrib}
+    if obs.critpath is not None:
+        yield {"type": "critpath", "critpath": obs.critpath}
 
 
 def write_manifest(obs: Observation, path: str) -> None:

@@ -12,6 +12,18 @@ waits.  After the run, :meth:`Observer.finalize` freezes everything into an
 Observation never perturbs the simulation: handlers only read event fields,
 so an observed run is cycle-for-cycle identical to an unobserved one (there
 is a regression test for exactly that).
+
+Track layout and flow arrows
+----------------------------
+Chrome spans use a process-per-node layout (``pid == tid == node``) plus a
+synthetic "network" process (:data:`NETWORK_PID`), so Perfetto can order
+node tracks numerically via ``process_sort_index`` metadata (emitted by
+:func:`~repro.obs.export.chrome_trace`).  In chrome mode the observer also
+draws one Perfetto flow chain per slow-path transaction id: the arrow
+starts at the miss/directive span on the requester's track, steps through
+the recall-service / invalidation spans it caused on *other* nodes'
+tracks, and finishes at the transaction's message span on the network
+track — the causal chain miss -> trap/recall -> messages made visible.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ MISS_LATENCY_BUCKETS = (1, 10, 50, 100, 230, 300, 430, 600, 1000, 2500, 10000)
 LOCK_WAIT_BUCKETS = (0, 10, 40, 100, 400, 1000, 4000, 20000)
 #: Epoch-length buckets (cycles between consecutive barriers).
 EPOCH_LENGTH_BUCKETS = (100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+#: pid of the synthetic network track (far above any real node id).
+NETWORK_PID = 1 << 20
 
 
 @dataclass
@@ -58,6 +72,8 @@ class Observation:
     meta: dict = field(default_factory=dict)  # workload/variant/config info
     #: attribution report (repro.obs.attrib) when the run was profiled
     attrib: dict | None = None
+    #: critical-path report (repro.obs.critpath) when requested
+    critpath: dict | None = None
 
     def metric(self, name: str, default=0):
         return self.metrics.get(name, default)
@@ -84,6 +100,10 @@ class Observer:
         when the run is bound (the harness calls :meth:`bind_run` with the
         program and labelled-region table); the report lands on
         ``Observation.attrib``.
+    critpath:
+        Attach a :class:`~repro.obs.critpath.CriticalPathAnalyzer` when the
+        run is bound; the per-epoch straggler / what-if report lands on
+        ``Observation.critpath``.
     """
 
     def __init__(
@@ -94,6 +114,7 @@ class Observer:
         include_hits: bool = False,
         meta: dict | None = None,
         profile: bool = False,
+        critpath: bool = False,
     ):
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -103,9 +124,16 @@ class Observer:
         self.observation: Observation | None = None  # set by finalize()
         self._chrome = chrome
         self._profile = profile
+        self._critpath = critpath
         self.profiler = None  # AttributionProfiler, set by bind_run
+        self.critpath_analyzer = None  # CriticalPathAnalyzer, set by bind_run
         self._tokens: list[int] = []
         self._max_node = -1
+        # chrome-mode flow bookkeeping: slow-path events by requesting node,
+        # consumed by the enclosing access/directive span (the protocol
+        # publishes them synchronously inside the operation)
+        self._pend_coh: dict[int, list] = {}
+        self._pend_msgs: dict[int, list[MessageEvent]] = {}
 
         reg = self.registry
         # Eagerly create the standard instruments so every snapshot carries
@@ -161,22 +189,26 @@ class Observer:
         else:
             self._h_miss.observe(result.cycles)
         if self._chrome:
+            args = {
+                "addr": f"{ev.addr:#x}",
+                "pc": ev.pc,
+                "write": ev.write,
+                "epoch": ev.epoch,
+                "detail": result.detail,
+            }
+            if result.txn >= 0:
+                args["txn"] = result.txn
             self.trace_events.append({
                 "name": result.kind.value,
                 "cat": "mem",
                 "ph": "X",
                 "ts": ev.t,
                 "dur": result.cycles,
-                "pid": 0,
+                "pid": ev.node,
                 "tid": ev.node,
-                "args": {
-                    "addr": f"{ev.addr:#x}",
-                    "pc": ev.pc,
-                    "write": ev.write,
-                    "epoch": ev.epoch,
-                    "detail": result.detail,
-                },
+                "args": args,
             })
+            self._emit_flows(ev.node, ev.t, result.cycles)
 
     def _on_directive(self, ev: DirectiveEvent) -> None:
         self._c_directives[ev.dkind].inc()
@@ -190,10 +222,11 @@ class Observer:
                 "ph": "X",
                 "ts": ev.t,
                 "dur": ev.cycles,
-                "pid": 0,
+                "pid": ev.node,
                 "tid": ev.node,
                 "args": {"blocks": ev.blocks, "pc": ev.pc, "epoch": ev.epoch},
             })
+            self._emit_flows(ev.node, ev.t, ev.cycles)
 
     def _on_barrier(self, ev: BarrierEvent) -> None:
         self._c_barriers.inc()
@@ -209,6 +242,10 @@ class Observer:
                 "s": "g",  # global scope: a marker across every node track
                 "args": {"epoch": ev.epoch, "resume": ev.resume},
             })
+            # Barrier-time flushes publish txn == -1 messages; nothing may
+            # dangle into the next epoch.
+            self._pend_coh.clear()
+            self._pend_msgs.clear()
 
     def _on_lock(self, ev: LockEvent) -> None:
         if ev.node > self._max_node:
@@ -223,7 +260,7 @@ class Observer:
                     "ph": "X",
                     "ts": ev.t - ev.wait,
                     "dur": ev.wait,
-                    "pid": 0,
+                    "pid": ev.node,
                     "tid": ev.node,
                     "args": {"lock": f"{ev.addr:#x}", "pc": ev.pc},
                 })
@@ -235,18 +272,90 @@ class Observer:
     def _on_trap(self, ev: TrapEvent) -> None:
         self._c_traps.inc()
         self._c_trap_copies.inc(ev.copies)
+        if self._chrome and ev.txn >= 0:
+            self._pend_coh.setdefault(ev.node, []).append(ev)
 
     def _on_recall(self, ev: RecallEvent) -> None:
         self._c_recalls.inc()
         if ev.dirty:
             self._c_recalls_dirty.inc()
+        if self._chrome and ev.txn >= 0:
+            self._pend_coh.setdefault(ev.node, []).append(ev)
 
     def _on_message(self, ev: MessageEvent) -> None:
         self._c_messages.inc(ev.count)
         self.registry.counter(f"messages.{ev.msg.value}").inc(ev.count)
+        if self._chrome and ev.txn >= 0:
+            self._pend_msgs.setdefault(ev.node, []).append(ev)
 
     def _on_node_done(self, ev: NodeDoneEvent) -> None:
         self._c_nodes_done.inc()
+
+    # --------------------------------------------------------- flow arrows
+    def _emit_flows(self, node: int, ts: int, dur: int) -> None:
+        """Draw one Perfetto flow chain per slow-path transaction consumed
+        by the span just recorded at ``(node, ts, dur)``.
+
+        The protocol publishes a transaction's trap/recall/message events
+        synchronously *inside* the enclosing access or directive, so the
+        pending queues hold exactly the chains this span caused.  Each chain
+        is: flow start ``s`` on the requester span -> ``t`` steps on the
+        recall-service / invalidation spans drawn on the other nodes'
+        tracks -> finish ``f`` on the transaction's aggregated message span
+        on the network track.
+        """
+        coh = self._pend_coh.pop(node, None)
+        msgs = self._pend_msgs.pop(node, None)
+        if not coh and not msgs:
+            return
+        chains: dict[int, list] = {}
+        for ev in coh or ():
+            chains.setdefault(ev.txn, [[], []])[0].append(ev)
+        for ev in msgs or ():
+            chains.setdefault(ev.txn, [[], []])[1].append(ev)
+        append = self.trace_events.append
+        for txn in sorted(chains):
+            coh_evs, msg_evs = chains[txn]
+            flow = {"name": "txn", "cat": "coh", "id": txn}
+            append({**flow, "ph": "s", "ts": ts, "pid": node, "tid": node})
+            for ev in coh_evs:
+                if isinstance(ev, RecallEvent):
+                    append({
+                        "name": "recall service", "cat": "coh", "ph": "X",
+                        "ts": ts, "dur": dur, "pid": ev.owner, "tid": ev.owner,
+                        "args": {"block": ev.block, "dirty": ev.dirty,
+                                 "exclusive": ev.exclusive, "txn": txn,
+                                 "requester": node},
+                    })
+                    append({**flow, "ph": "t", "ts": ts,
+                            "pid": ev.owner, "tid": ev.owner})
+                else:  # TrapEvent: one invalidation span per killed copy
+                    name = "inv (upgrade)" if ev.upgrade else "inv (sw trap)"
+                    for holder in ev.holders:
+                        append({
+                            "name": name, "cat": "coh", "ph": "X",
+                            "ts": ts, "dur": dur,
+                            "pid": holder, "tid": holder,
+                            "args": {"block": ev.block, "copies": ev.copies,
+                                     "txn": txn, "requester": node},
+                        })
+                        append({**flow, "ph": "t", "ts": ts,
+                                "pid": holder, "tid": holder})
+            if msg_evs:
+                total = sum(m.count for m in msg_evs)
+                kinds: dict[str, int] = {}
+                for m in msg_evs:
+                    kinds[m.msg.value] = kinds.get(m.msg.value, 0) + m.count
+                append({
+                    "name": f"net x{total}", "cat": "net", "ph": "X",
+                    "ts": ts, "dur": dur, "pid": NETWORK_PID, "tid": 0,
+                    "args": {"txn": txn, "requester": node, **kinds},
+                })
+                append({**flow, "ph": "f", "bp": "e", "ts": ts,
+                        "pid": NETWORK_PID, "tid": 0})
+            else:
+                append({**flow, "ph": "f", "bp": "e", "ts": ts,
+                        "pid": node, "tid": node})
 
     # ------------------------------------------------------------ lifecycle
     def bind_run(
@@ -266,22 +375,31 @@ class Observer:
         — when the parameter environment is available — the symbolic
         footprint matcher of :mod:`repro.cachier.mapping`.
         """
-        if not self._profile or self.profiler is not None:
+        if not (self._profile or self._critpath):
             return
         from repro.obs.attrib import AttributionProfiler, SourceMap
 
-        env = None
-        if params_fn is not None and num_nodes > 0:
-            from repro.cachier.mapping import ParamEnv
+        source = SourceMap(program)
+        if self._profile and self.profiler is None:
+            env = None
+            if params_fn is not None and num_nodes > 0:
+                from repro.cachier.mapping import ParamEnv
 
-            env = ParamEnv(params_fn, num_nodes)
-        self.profiler = AttributionProfiler(
-            labels=labels,
-            block_size=block_size,
-            source=SourceMap(program),
-            env=env,
-        )
-        self._tokens += self.profiler.attach(self.bus)
+                env = ParamEnv(params_fn, num_nodes)
+            self.profiler = AttributionProfiler(
+                labels=labels,
+                block_size=block_size,
+                source=source,
+                env=env,
+            )
+            self._tokens += self.profiler.attach(self.bus)
+        if self._critpath and self.critpath_analyzer is None:
+            from repro.obs.critpath import CriticalPathAnalyzer
+
+            self.critpath_analyzer = CriticalPathAnalyzer(
+                labels=labels, block_size=block_size, source=source
+            )
+            self._tokens += self.critpath_analyzer.attach(self.bus)
 
     def detach(self) -> None:
         """Drop every subscription this observer holds on the bus."""
@@ -297,6 +415,12 @@ class Observer:
         if self.profiler is not None:
             self.profiler.finalize(result.cycles)
             attrib = self.profiler.report(name=self.meta.get("name", "run"))
+        critpath = None
+        if self.critpath_analyzer is not None:
+            self.critpath_analyzer.finalize(result.cycles)
+            critpath = self.critpath_analyzer.report(
+                name=self.meta.get("name", "run")
+            )
         obs = Observation(
             metrics=self.registry.snapshot(),
             timeline=list(self.timeline.samples),
@@ -306,6 +430,7 @@ class Observer:
             epochs=result.epochs,
             meta=dict(self.meta),
             attrib=attrib,
+            critpath=critpath,
         )
         self.observation = obs
         result.obs = obs

@@ -63,6 +63,22 @@ def _assert_conserved(obs):
     assert (
         sum(e["misses"] for e in obs.attrib["epochs"]) == totals["misses"]
     )
+    # Per-node message totals reconcile at both granularities: within each
+    # epoch they re-aggregate the epoch's message count, and over the run
+    # they re-aggregate the bus-level counter.
+    for epoch in obs.attrib["epochs"]:
+        assert (
+            sum(count for _, count in epoch["messages_by_node"])
+            == epoch["messages"]
+        )
+    per_node: dict[int, int] = {}
+    for epoch in obs.attrib["epochs"]:
+        for node, count in epoch["messages_by_node"]:
+            per_node[node] = per_node.get(node, 0) + count
+    assert sum(per_node.values()) == m["messages"]
+    # Demand traffic is stamped with the requesting node; only barrier-time
+    # flushes may fall outside a transaction (node -1).
+    assert all(node >= -1 for node in per_node)
 
 
 class TestConservation:

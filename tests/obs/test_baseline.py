@@ -16,6 +16,7 @@ from repro.obs.baseline import (
     diff_benches,
     read_bench,
     render_diff,
+    straggler_drift,
     write_bench,
 )
 
@@ -38,6 +39,12 @@ class TestBenchWorkload:
             assert record["attrib"], "attribution digest must be present"
             for digest in record["attrib"].values():
                 assert set(digest) == {"misses", "stall_cycles"}
+
+    def test_bench_record_carries_critical_path_digest(self, mp3d_bench):
+        for record in mp3d_bench["variants"].values():
+            assert 0.0 <= record["critical_path_fraction"] <= 1.0
+            node, epochs = record["top_straggler"]
+            assert node >= 0 and epochs >= 1
 
     def test_bench_is_deterministic(self, mp3d_bench):
         again = bench_workload("mp3d")
@@ -123,6 +130,51 @@ class TestDiff:
         notes = attrib_drift(mp3d_bench, drifted)
         assert any(array in note and "+7" in note for note in notes)
         assert attrib_drift(mp3d_bench, mp3d_bench) == []
+
+    def test_straggler_drift_notes_fraction_and_crown_moves(self, mp3d_bench):
+        assert straggler_drift(mp3d_bench, mp3d_bench) == []
+        drifted = copy.deepcopy(mp3d_bench)
+        variant = drifted["variants"]["plain"]
+        variant["critical_path_fraction"] = max(
+            0.0, variant["critical_path_fraction"] - 0.2
+        )
+        old_top = variant["top_straggler"][0]
+        variant["top_straggler"] = [old_top + 1, 3]
+        notes = straggler_drift(mp3d_bench, drifted)
+        assert any("critical_path_fraction" in n for n in notes)
+        assert any("top straggler moved" in n for n in notes)
+
+
+class TestDiffExitCode:
+    """``repro-obs diff`` is the CI gate: its exit code must be load-bearing."""
+
+    def _dirs(self, mp3d_bench, tmp_path, cur_bench):
+        base_dir = tmp_path / "base"
+        cur_dir = tmp_path / "cur"
+        write_bench(mp3d_bench, str(base_dir))
+        write_bench(cur_bench, str(cur_dir))
+        return str(base_dir), str(cur_dir)
+
+    def test_regression_exits_nonzero(self, mp3d_bench, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        worse = copy.deepcopy(mp3d_bench)
+        worse["variants"]["plain"]["cycles"] = int(
+            worse["variants"]["plain"]["cycles"] * 1.5
+        )
+        base_dir, cur_dir = self._dirs(mp3d_bench, tmp_path, worse)
+        code = main(["diff", "--baseline", base_dir, "--against", cur_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out and "regression(s)" in out
+
+    def test_clean_diff_exits_zero(self, mp3d_bench, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        base_dir, cur_dir = self._dirs(mp3d_bench, tmp_path, mp3d_bench)
+        code = main(["diff", "--baseline", base_dir, "--against", cur_dir])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
 
 
 class TestCommittedBaselines:

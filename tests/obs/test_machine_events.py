@@ -184,6 +184,143 @@ class TestProtocolEvents:
             by_kind[e.msg] = by_kind.get(e.msg, 0) + e.count
         assert by_kind == result.traffic
 
+    def test_message_events_carry_requester_epoch_and_clock(self):
+        def kernel(nid):
+            yield (EV_REF, 0, BASE + 64 * nid, True, 1)
+            yield (EV_BARRIER, 0, 2)
+            yield (EV_REF, 0, BASE + 64 * (1 - nid), False, 3)
+
+        events, _ = collect((EventKind.MESSAGE,), kernel)
+        # Demand traffic is stamped with the requesting node and a valid
+        # clock; epoch advances across the barrier.
+        assert {e.node for e in events} == {0, 1}
+        assert all(e.t >= 0 for e in events)
+        assert {e.epoch for e in events} == {0, 1}
+        epoch1 = [e for e in events if e.epoch == 1]
+        assert epoch1, "post-barrier misses must be tagged with epoch 1"
+        # Per-node totals reconcile with the run total.
+        per_node = {}
+        for e in events:
+            per_node[e.node] = per_node.get(e.node, 0) + e.count
+        _, result = collect((EventKind.MESSAGE,), kernel)
+        assert sum(per_node.values()) == result.total_messages
+
+
+class TestTransactionIds:
+    def test_miss_trap_recall_messages_share_txn(self):
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, BASE, True, 1)  # own the block dirty
+                yield (EV_BARRIER, 0, 2)
+            else:
+                yield (EV_BARRIER, 0, 2)
+                yield (EV_REF, 0, BASE, False, 3)  # recall from node 0
+
+        events, _ = collect(
+            (EventKind.ACCESS, EventKind.RECALL, EventKind.MESSAGE), kernel
+        )
+        accesses = [e for e in events if e.kind is EventKind.ACCESS]
+        misses = [e for e in accesses if e.result.kind is not AccessKind.HIT]
+        assert all(e.result.txn >= 0 for e in misses)
+        txns = [e.result.txn for e in misses]
+        assert len(set(txns)) == len(txns), "txn ids are unique per miss"
+        recall = next(e for e in events if e.kind is EventKind.RECALL)
+        recalled_access = next(
+            e for e in accesses
+            if e.node == 1 and e.result.kind is AccessKind.READ_MISS
+        )
+        assert recall.txn == recalled_access.result.txn
+        assert recall.t == recalled_access.t
+        # Every message of that transaction carries the same id.
+        chain_msgs = [
+            e for e in events
+            if e.kind is EventKind.MESSAGE and e.txn == recall.txn
+        ]
+        assert chain_msgs and all(e.node == 1 for e in chain_msgs)
+
+    def test_trap_event_names_invalidated_holders(self):
+        def kernel(nid):
+            yield (EV_REF, 0, BASE, False, 1)  # everyone shares
+            yield (EV_BARRIER, 0, 2)
+            if nid == 0:
+                yield (EV_REF, 0, BASE, True, 3)  # write fault -> trap
+
+        events, _ = collect((EventKind.ACCESS, EventKind.TRAP), kernel,
+                            nodes=3)
+        trap = next(e for e in events if e.kind is EventKind.TRAP)
+        assert trap.holders == (1, 2)  # requester excluded, sorted
+        assert trap.txn >= 0
+        fault = next(
+            e for e in events
+            if e.kind is EventKind.ACCESS
+            and e.result.kind is AccessKind.WRITE_FAULT
+        )
+        assert fault.result.txn == trap.txn
+
+    def test_flush_messages_have_no_txn(self):
+        # Trace-mode barrier flushes happen outside any transaction: their
+        # traffic is stamped with the flushing node but txn == -1.
+        def kernel(nid):
+            if nid == 0:
+                yield (EV_REF, 0, BASE, True, 1)
+            yield (EV_BARRIER, 0, 2)  # flushes node 0's dirty block
+
+        bus = EventBus()
+        events = []
+        bus.subscribe((EventKind.MESSAGE,), events.append)
+        Machine(config(), bus=bus, flush_at_barrier=True).run(kernel)
+        flushes = [e for e in events if e.txn == -1]
+        assert flushes and all(e.node == 0 for e in flushes)
+        assert all(e.t >= 0 for e in flushes)
+
+
+class TestBarrierNodeClocks:
+    def test_node_clocks_expose_arrivals_and_slack(self):
+        def kernel(nid):
+            yield (EV_REF, 10 + 5 * nid, -1, False, -1)  # stagger arrivals
+            yield (EV_BARRIER, 0, 1)
+
+        events, _ = collect((EventKind.BARRIER,), kernel)
+        ev = events[0]
+        arrivals = ev.node_clocks
+        assert set(arrivals) == {0, 1}
+        assert ev.vt == max(arrivals.values())
+        compute = COST.compute_cycles
+        assert arrivals[1] - arrivals[0] == 5 * compute  # node 0's slack
+
+
+class TestEpochTimes:
+    def test_trailing_partial_epoch_reported(self):
+        def kernel(nid):
+            yield (EV_REF, 10, -1, False, -1)
+            yield (EV_BARRIER, 0, 1)
+            yield (EV_REF, 7, -1, False, -1)  # work after the last barrier
+
+        _, result = collect((), kernel)
+        times = result.epoch_times()
+        assert len(times) == 2
+        assert sum(times) == result.cycles
+        assert times[1] == result.cycles - result.extra["barrier_vts"][-1]
+
+    def test_run_ending_on_barrier_trails_only_the_resume_cost(self):
+        def kernel(nid):
+            yield (EV_REF, 10, -1, False, -1)
+            yield (EV_BARRIER, 0, 1)
+
+        _, result = collect((), kernel)
+        times = result.epoch_times()
+        # The released nodes still pay the barrier resume cost, so the
+        # trailing partial epoch is exactly that overhead and nothing else.
+        assert times == [result.extra["barrier_vts"][0], COST.barrier_cycles]
+        assert sum(times) == result.cycles
+
+    def test_epoch_times_without_barriers_is_whole_run(self):
+        def kernel(nid):
+            yield (EV_REF, 10 + nid, -1, False, -1)
+
+        _, result = collect((), kernel)
+        assert result.epoch_times() == [result.cycles]
+
 
 class TestLegacyListenerBridge:
     def test_listener_still_sees_misses_and_barriers(self):

@@ -130,10 +130,12 @@ class TestChromeTraceExport:
                 yield (EV_REF, 0, BASE, False, 2)
 
         obs, _ = observed_run(kernel)
-        names = [e["name"] for e in obs.trace_events if e.get("ph") == "X"]
+        names = [e["name"] for e in obs.trace_events
+                 if e.get("ph") == "X" and e.get("cat") == "mem"]
         assert names == ["read_miss"]
         obs_hits, _ = observed_run(kernel, include_hits=True)
-        names = [e["name"] for e in obs_hits.trace_events if e.get("ph") == "X"]
+        names = [e["name"] for e in obs_hits.trace_events
+                 if e.get("ph") == "X" and e.get("cat") == "mem"]
         assert names == ["read_miss", "hit"]
 
 
