@@ -108,6 +108,23 @@ class SetAssociativeCache:
         line.dirty = False
         return was_dirty
 
+    def snapshot_lines(self) -> list[tuple[int, str, bool]]:
+        """Resident lines as ``(block, state, dirty)`` tuples, per-set LRU
+        order (least recently used first), for barrier checkpoints."""
+        return [
+            (line.block, line.state.value, line.dirty)
+            for cset in self._sets
+            for line in cset.values()
+        ]
+
+    def restore_lines(self, lines: list[tuple[int, str, bool]]) -> None:
+        """Rebuild residency from :meth:`snapshot_lines` output.  Inserting
+        in snapshot order reproduces the per-set LRU order exactly."""
+        for cset in self._sets:
+            cset.clear()
+        for block, state, dirty in lines:
+            self.insert(int(block), LineState(state), bool(dirty))
+
     def flush_all(self) -> list[CacheLine]:
         """Invalidate everything; return the flushed lines (for writebacks).
 

@@ -12,9 +12,10 @@ from __future__ import annotations
 import argparse
 
 from repro.cachier.annotator import Cachier, Policy
+from repro.cliutil import run_cli
 from repro.harness.runner import trace_program
 from repro.lang.unparse import unparse_program
-from repro.trace.file_io import write_trace
+from repro.trace.file_io import salvage_trace, write_trace
 from repro.workloads.base import get_workload, registry
 
 
@@ -54,7 +55,7 @@ def _spec_from_source(args):
     )
 
 
-def main(argv=None) -> int:
+def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--workload", default="matmul_racing", choices=sorted(registry())
@@ -99,6 +100,24 @@ def main(argv=None) -> int:
         "--save-trace", metavar="PATH", help="also write the trace file"
     )
     parser.add_argument(
+        "--trace", metavar="PATH",
+        help="annotate from an existing trace file instead of running the "
+             "trace-mode simulation; a truncated or corrupted file is "
+             "salvaged down to its complete epochs (with a prominent "
+             "warning) rather than rejected",
+    )
+    parser.add_argument(
+        "--faults", type=int, metavar="SEED", default=None,
+        help="inject the seeded fault tape (repro.faults) into the trace "
+             "run; per-epoch miss sets — and therefore the annotations — "
+             "are invariant under it",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run the online coherence invariant checker during the trace "
+             "run (failures exit 2 with a diagnostic)",
+    )
+    parser.add_argument(
         "--report", action="store_true", help="print the data-race report"
     )
     parser.add_argument(
@@ -134,8 +153,14 @@ def main(argv=None) -> int:
         from repro.obs.session import Observer
 
         observer = Observer(meta={"name": spec.name, "mode": "trace"})
-    trace = trace_program(spec.program, spec.config, spec.params_fn,
-                          observer=observer)
+    if args.trace:
+        trace, salvage_warnings = salvage_trace(args.trace)
+        for warning in salvage_warnings:
+            print(f"// WARNING: {args.trace}: {warning}")
+    else:
+        trace = trace_program(spec.program, spec.config, spec.params_fn,
+                              observer=observer,
+                              faults_seed=args.faults, verify=args.verify)
     if args.save_trace:
         write_trace(trace, args.save_trace)
     cachier = Cachier(
@@ -186,6 +211,10 @@ def main(argv=None) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(unparse_program(result.program))
     return 0
+
+
+def main(argv=None) -> int:
+    return run_cli(_main, argv, prog="cachier-annotate")
 
 
 if __name__ == "__main__":

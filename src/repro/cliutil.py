@@ -1,0 +1,35 @@
+"""Shared command-line entry-point plumbing.
+
+Every console script of the package (``cachier-annotate``, ``repro-obs``,
+``repro-verify``, ``cachier-figure6``) wraps its argument-parsing main in
+:func:`run_cli` so a :class:`~repro.errors.ReproError` — bad input, a failed
+invariant, a corrupt trace, the execution watchdog — exits with status 2 and
+a one-line ``<prog>: error: ...`` diagnostic on stderr instead of a Python
+traceback.  Programming errors (anything not a ReproError) still traceback:
+those are bugs and hiding them helps nobody.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+#: exit status for diagnosed tool-level failures (argparse uses 2 as well)
+EXIT_ERROR = 2
+
+
+def run_cli(
+    main: Callable[[Sequence[str] | None], int],
+    argv: Sequence[str] | None = None,
+    prog: str | None = None,
+) -> int:
+    """Invoke ``main(argv)``, turning ReproErrors into diagnostics."""
+    try:
+        return main(argv)
+    except ReproError as exc:
+        first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        name = prog or sys.argv[0].rsplit("/", 1)[-1] or "repro"
+        print(f"{name}: error: {first}", file=sys.stderr)
+        return EXIT_ERROR

@@ -26,3 +26,4 @@ class MessageKind(enum.Enum):
     CHECKIN = "checkin"  # explicit CICO check_in return message
     DECREMENT = "decrement"  # replacement notice: drop sharer count
     PREFETCH = "prefetch"  # prefetch request
+    NACK = "nack"  # transient negative acknowledgement (fault injection)

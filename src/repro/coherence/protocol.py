@@ -30,16 +30,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.cache.state import CacheLine, LineState
 from repro.cache.stats import CacheStats
 from repro.coherence.costs import CostModel
-from repro.coherence.directory import Directory, DirState
+from repro.coherence.directory import Directory, DirEntry, DirState
 from repro.coherence.messages import MessageKind
 from repro.errors import ProtocolError
 from repro.network.model import Network
 from repro.obs.events import EventBus, EventKind, RecallEvent, TrapEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
 
 
 class AccessKind(enum.Enum):
@@ -86,6 +90,7 @@ class Dir1SWProtocol:
         cost: CostModel | None = None,
         network: Network | None = None,
         bus: EventBus | None = None,
+        faults: "FaultInjector | None" = None,
     ):
         if num_nodes <= 0:
             raise ProtocolError(f"need at least one node, got {num_nodes}")
@@ -93,7 +98,10 @@ class Dir1SWProtocol:
         self.block_size = block_size
         self.cost = cost or CostModel()
         self.bus = bus
+        self.faults = faults
         self.network = network or Network(hop_latency=self.cost.net_hop, bus=bus)
+        if faults is not None:
+            self.network.faults = faults
         self.caches = [
             SetAssociativeCache(cache_size, block_size, assoc) for _ in range(num_nodes)
         ]
@@ -119,10 +127,26 @@ class Dir1SWProtocol:
 
     def _begin_txn(self, node: int, now: int) -> int:
         """Open a slow-path transaction: allocate its id and stamp the
-        network context so every message/trap/recall it raises is joinable."""
+        network context so every message/trap/recall it raises is joinable.
+
+        This is also the protocol's retry slow path: with a fault injector
+        attached the operation may be transiently NACKed up to its retry
+        bound before being accepted.  Each bounce costs the requester the
+        bounced round trip plus exponential backoff; the latency is charged
+        as barrier-deferred stall (see :mod:`repro.faults`) so the retries
+        never perturb the epoch's interleaving, only its length.
+        """
         txn = self._txn_next
         self._txn_next += 1
         self.network.begin(node=node, t=now, txn=txn)
+        faults = self.faults
+        if faults is not None:
+            nacks = faults.transient_nacks(node)
+            if nacks:
+                self.network.send(MessageKind.NACK, nacks)
+                faults.owe(
+                    node, faults.retry_penalty(nacks, self.cost.net_hop)
+                )
         return txn
 
     def set_epoch(self, epoch: int) -> None:
@@ -497,3 +521,71 @@ class Dir1SWProtocol:
                     raise ProtocolError(
                         f"node {node} caches block {line.block} unknown to directory"
                     )
+
+    # ----------------------------------------------------------- checkpoint
+    def snapshot_state(self) -> dict:
+        """JSON-able architectural + accounting state for barrier-aligned
+        checkpoints (see :meth:`Machine.snapshot`)."""
+        return {
+            "caches": [cache.snapshot_lines() for cache in self.caches],
+            "directory": {
+                str(block): {
+                    "state": entry.state.value,
+                    "count": entry.count,
+                    "ptr": entry.ptr,
+                    "sharers": sorted(entry.sharers),
+                }
+                for block, entry in self.directory.entries().items()
+                if entry.state is not DirState.IDLE
+            },
+            "stats": [stats.as_dict() for stats in self.stats],
+            "proto_stats": {
+                name: getattr(self.proto_stats, name)
+                for name in ProtocolStats.__dataclass_fields__
+            },
+            "traffic": self.network.snapshot_traffic(),
+            "txn_next": self._txn_next,
+            "home_free": list(self._home_free),
+            "pending": [
+                {
+                    str(block): [pend.arrival, pend.exclusive]
+                    for block, pend in per_node.items()
+                }
+                for per_node in self._pending
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the protocol from :meth:`snapshot_state` output."""
+        if len(state["caches"]) != self.num_nodes:
+            raise ProtocolError(
+                f"snapshot has {len(state['caches'])} caches, machine has "
+                f"{self.num_nodes} nodes"
+            )
+        for cache, lines in zip(self.caches, state["caches"]):
+            cache.restore_lines(lines)
+        entries = self.directory.entries()
+        entries.clear()
+        for block, raw in state["directory"].items():
+            entries[int(block)] = DirEntry(
+                state=DirState(raw["state"]),
+                count=int(raw["count"]),
+                ptr=None if raw["ptr"] is None else int(raw["ptr"]),
+                sharers=set(int(n) for n in raw["sharers"]),
+            )
+        self.stats = [
+            CacheStats(**{k: int(v) for k, v in raw.items()})
+            for raw in state["stats"]
+        ]
+        for name, value in state["proto_stats"].items():
+            setattr(self.proto_stats, name, int(value))
+        self.network.restore_traffic(state["traffic"])
+        self._txn_next = int(state["txn_next"])
+        self._home_free = [int(v) for v in state["home_free"]]
+        self._pending = [
+            {
+                int(block): _Pending(arrival=int(arr), exclusive=bool(excl))
+                for block, (arr, excl) in per_node.items()
+            }
+            for per_node in state["pending"]
+        ]

@@ -60,7 +60,63 @@ class TraceError(ReproError):
 
 
 class CachierError(ReproError):
-    """The annotator could not complete (missing labels, unknown PCs, ...)."""
+    """A Cachier tool-level failure the user can act on: the annotator could
+    not complete (missing labels, unknown PCs, ...), a run-time invariant
+    check failed, or a workload tripped the execution watchdog.  CLIs catch
+    this family and turn it into a one-line diagnostic + nonzero exit."""
+
+
+class VerifyError(CachierError):
+    """An online invariant check failed (:mod:`repro.verify`).
+
+    Carries structured context — the node, epoch and block involved plus the
+    recent event chain (joined by slow-path transaction id) that led up to
+    the violation — so a failure names *where* the protocol went wrong, not
+    just that it did.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        node: int | None = None,
+        epoch: int | None = None,
+        block: int | None = None,
+        chain: tuple[str, ...] = (),
+    ):
+        where = ", ".join(
+            f"{name}={value}"
+            for name, value in (("node", node), ("epoch", epoch), ("block", block))
+            if value is not None
+        )
+        text = f"[{invariant}] {message}"
+        if where:
+            text += f" ({where})"
+        if chain:
+            text += "\n  event chain:\n" + "\n".join(f"    {ev}" for ev in chain)
+        super().__init__(text)
+        self.invariant = invariant
+        self.node = node
+        self.epoch = epoch
+        self.block = block
+        self.chain = chain
+
+
+class WatchdogError(MachineError, CachierError):
+    """The machine's max-cycles watchdog fired: a node is still running past
+    the configured cycle budget (livelocked workload, runaway loop).  Names
+    the stuck node and the pc of its last event."""
+
+    def __init__(self, message: str, *, node: int | None = None, pc: int | None = None):
+        super().__init__(message)
+        self.node = node
+        self.pc = pc
+
+
+class CheckpointError(CachierError):
+    """A checkpoint could not be written, read, or resumed from (corrupt
+    snapshot, replay divergence, incompatible configuration)."""
 
 
 class WorkloadError(ReproError):

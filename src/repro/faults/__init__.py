@@ -1,0 +1,233 @@
+"""Deterministic, seed-driven fault injection for the simulated machine.
+
+The paper's numbers assume a fault-free interconnect; production-scale runs
+of the reproduction want to know that the protocol's *architectural*
+behaviour — which blocks miss, what the caches and directory hold — does not
+silently depend on message timing.  This package injects timing faults and
+lets :mod:`repro.verify` prove the run still converged to the same state.
+
+Fault model
+-----------
+Four message-level faults (all drawn from one :func:`repro.util.rng.make_rng`
+stream, so a seed fully determines the run) plus one node-level fault:
+
+* **delay jitter** — a message is late by 1..``max_delay_hops`` network hops;
+* **bounded reordering** — a message is delivered after up to
+  ``reorder_window`` later messages (modelled as an extra hop of delay per
+  position slipped; the window bounds the slip);
+* **duplication** — a message is sent twice; the duplicate shows up in the
+  traffic accounting (and on the event bus) but carries no new data;
+* **transient NACKs** — a slow-path protocol operation (miss acquisition,
+  recall, upgrade, explicit directive) is bounced up to ``max_retries``
+  times; the protocol retries with exponential backoff
+  (``backoff_base * 2**attempt`` cycles per bounce, plus the bounced round
+  trip).  NACKs are *transient* by construction — the injector never bounces
+  an operation more than ``max_retries`` times — so every run completes.
+* **straggler node** — one node loses ``straggler_cycles`` extra cycles per
+  epoch, for exercising the critical-path / slack analysis of
+  :mod:`repro.obs.critpath`.
+
+Barrier-deferred stall (why results are invariant)
+--------------------------------------------------
+Every cycle of fault latency is accumulated per node and charged when the
+node next reaches a barrier (or finishes), never in the middle of an epoch.
+Epochs are the program's synchronisation unit: retries, duplicate deliveries
+and late messages all resolve before the barrier opens, so the *intra-epoch*
+virtual-time interleaving — the thing that decides races, recall victims and
+trap counts — is bit-for-bit the interleaving of the fault-free run.  Fault
+injection therefore changes cycles, traffic and per-epoch barrier times (the
+observable symptoms) while the cache/directory end state and the per-epoch
+miss sets are invariant **by construction**, which is exactly the property
+the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Knobs of the injector; ``seed`` alone selects the whole fault tape."""
+
+    seed: int
+    delay_prob: float = 0.10  # per message: late delivery
+    max_delay_hops: int = 3  # jitter magnitude, in network hops
+    reorder_prob: float = 0.05  # per message: slips behind later traffic
+    reorder_window: int = 4  # max positions a message may slip
+    dup_prob: float = 0.05  # per message: delivered twice
+    nack_prob: float = 0.08  # per slow-path operation: transient bounce
+    max_retries: int = 4  # bound on consecutive NACKs of one operation
+    backoff_base: int = 20  # cycles; retry i backs off base * 2**i
+    straggler_node: int | None = None  # node delayed every epoch, if any
+    straggler_cycles: int = 0  # extra cycles per epoch for the straggler
+
+    def __post_init__(self) -> None:
+        for name in ("delay_prob", "reorder_prob", "dup_prob", "nack_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"fault {name} must be in [0, 1], got {p}")
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """How many of each fault the injector actually dealt."""
+
+    delayed: int = 0
+    reordered: int = 0
+    duplicated: int = 0
+    nacks: int = 0
+    retries: int = 0  # operations that saw at least one NACK
+    straggler_epochs: int = 0
+    stall_cycles: int = 0  # total latency injected (all nodes)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class FaultInjector:
+    """One seeded fault tape, consulted by the network and the protocol.
+
+    The injector is consulted in simulation order, which the barrier-deferred
+    stall model keeps identical to the fault-free run's order — so one seed
+    yields one byte-identical fault tape, run after run.
+    """
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.rng = make_rng(config.seed)
+        self.stats = FaultStats()
+        # Per-node latency owed but not yet charged (drained at barriers).
+        self._stall: dict[int, int] = {}
+        # Occupied "slots" ahead of us in the reorder window, per node.
+        self._reorder_backlog: dict[int, int] = {}
+
+    # ------------------------------------------------------------- messages
+    def on_message(self, node: int, kind, count: int, hop_latency: int) -> int:
+        """Faults for ``count`` messages entering the network on behalf of
+        ``node``.  Returns the number of *extra* (duplicate) messages to
+        account; latency lands in the node's deferred stall."""
+        cfg = self.config
+        rng = self.rng
+        stats = self.stats
+        extra = 0
+        for _ in range(count):
+            roll = rng.random()
+            if roll < cfg.delay_prob:
+                hops = int(rng.integers(1, cfg.max_delay_hops + 1))
+                self._owe(node, hops * hop_latency)
+                stats.delayed += 1
+            elif roll < cfg.delay_prob + cfg.reorder_prob:
+                backlog = self._reorder_backlog.get(node, 0)
+                slip = int(rng.integers(1, cfg.reorder_window + 1))
+                slip = min(slip, cfg.reorder_window - backlog)
+                if slip > 0:
+                    self._reorder_backlog[node] = backlog + slip
+                    self._owe(node, slip * hop_latency)
+                    stats.reordered += 1
+            else:
+                # Delivered in order: the reorder window drains.
+                backlog = self._reorder_backlog.get(node, 0)
+                if backlog:
+                    self._reorder_backlog[node] = backlog - 1
+            if rng.random() < cfg.dup_prob:
+                extra += 1
+                stats.duplicated += 1
+        return extra
+
+    # ------------------------------------------------------- slow-path NACKs
+    def transient_nacks(self, node: int) -> int:
+        """Number of times the slow-path operation now starting on ``node``
+        is bounced before it is accepted (0 = clean first try).  Bounded by
+        ``max_retries`` so every operation eventually completes."""
+        cfg = self.config
+        nacks = 0
+        while nacks < cfg.max_retries and self.rng.random() < cfg.nack_prob:
+            nacks += 1
+        if nacks:
+            self.stats.nacks += nacks
+            self.stats.retries += 1
+        return nacks
+
+    def retry_penalty(self, nacks: int, hop_latency: int) -> int:
+        """Latency of ``nacks`` bounces: each costs the bounced round trip
+        plus exponential backoff before the retry."""
+        cfg = self.config
+        penalty = 0
+        for attempt in range(nacks):
+            penalty += 2 * hop_latency + cfg.backoff_base * (2**attempt)
+        return penalty
+
+    # ----------------------------------------------------------- node stall
+    def _owe(self, node: int, cycles: int) -> None:
+        if cycles > 0 and node >= 0:
+            self._stall[node] = self._stall.get(node, 0) + cycles
+            self.stats.stall_cycles += cycles
+
+    def owe(self, node: int, cycles: int) -> None:
+        """Publicly charge deferred latency to ``node`` (protocol retries)."""
+        self._owe(node, cycles)
+
+    def barrier_stall(self, node: int) -> int:
+        """Drain ``node``'s owed latency at a barrier arrival, including the
+        per-epoch straggler penalty if ``node`` is the configured straggler."""
+        stall = self._stall.pop(node, 0)
+        cfg = self.config
+        if cfg.straggler_node == node and cfg.straggler_cycles > 0:
+            stall += cfg.straggler_cycles
+            self.stats.straggler_epochs += 1
+            self.stats.stall_cycles += cfg.straggler_cycles
+        return stall
+
+    def final_stall(self, node: int) -> int:
+        """Drain ``node``'s owed latency when its kernel finishes."""
+        return self._stall.pop(node, 0)
+
+    # ----------------------------------------------------------- checkpoint
+    def snapshot_state(self) -> dict:
+        """JSON-able state for barrier-aligned checkpoints."""
+        return {
+            "seed": self.config.seed,
+            "rng": _jsonify(self.rng.bit_generator.state),
+            "stall": {str(n): s for n, s in self._stall.items()},
+            "reorder_backlog": {
+                str(n): b for n, b in self._reorder_backlog.items()
+            },
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("seed") != self.config.seed:
+            raise ReproError(
+                f"checkpoint fault seed {state.get('seed')} does not match "
+                f"configured seed {self.config.seed}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        self._stall = {int(n): int(s) for n, s in state["stall"].items()}
+        self._reorder_backlog = {
+            int(n): int(b) for n, b in state["reorder_backlog"].items()
+        }
+        self.stats = FaultStats(**{k: int(v) for k, v in state["stats"].items()})
+
+
+def _jsonify(obj):
+    """numpy bit-generator state contains numpy ints; make it JSON-clean."""
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    return obj
+
+
+def make_injector(seed: int | None, **overrides) -> FaultInjector | None:
+    """Convenience for CLIs: ``None`` seed means fault-free (no injector)."""
+    if seed is None:
+        return None
+    return FaultInjector(FaultConfig(seed=seed, **overrides))

@@ -1,0 +1,97 @@
+"""Barrier-checkpoint persistence for long harness runs.
+
+Two small pieces:
+
+* :class:`Checkpointer` — stores one run's latest barrier snapshot
+  (:meth:`Machine.snapshot` plus the shared-store values) as a JSON file,
+  written atomically so a kill mid-write can never leave a half-checkpoint
+  behind — the previous complete one survives.
+* :class:`SweepState` — records which (benchmark, variant) runs of a sweep
+  already finished and their headline numbers, so a restarted
+  ``cachier-figure6 --resume`` skips straight past completed work and still
+  prints the same table (and leaves the same per-variant artefacts on disk)
+  as an uninterrupted sweep.
+
+Both tolerate missing files (first run) and refuse corrupt ones with a
+:class:`~repro.errors.CheckpointError` naming the path, rather than
+silently starting the work over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="ascii") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="ascii") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"corrupt checkpoint file {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"corrupt checkpoint file {path}: not an object")
+    return payload
+
+
+class Checkpointer:
+    """Latest-barrier snapshot store for one named run."""
+
+    def __init__(self, directory: str | Path, name: str):
+        self.directory = Path(directory)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+        self.path = self.directory / f"{safe}.ckpt.json"
+
+    def save(self, snapshot: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.path, snapshot)
+
+    def load(self) -> dict | None:
+        """The last complete snapshot, or None if none was ever written."""
+        return _read_json(self.path)
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SweepState:
+    """Completed-run ledger of a figure6 sweep (``figure6.sweep.json``)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.path = self.directory / "figure6.sweep.json"
+        self.completed: dict[str, int] = {}
+
+    def load(self) -> "SweepState":
+        payload = _read_json(self.path)
+        if payload is not None:
+            self.completed = {str(k): int(v) for k, v in payload.items()}
+        return self
+
+    def mark(self, key: str, cycles: int) -> None:
+        self.completed[key] = int(cycles)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.path, self.completed)
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

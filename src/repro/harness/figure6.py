@@ -93,8 +93,17 @@ def run_benchmark(
     include_prefetch: bool = True,
     policy=None,
     obs_dir: str | None = None,
+    faults_seed: int | None = None,
+    verify: bool = False,
+    sweep=None,
     **kwargs,
 ) -> Fig6Row:
+    """One benchmark's row.  ``sweep`` (a
+    :class:`~repro.harness.checkpoint.SweepState`) makes the sweep
+    restartable: variants it records as completed are not re-run — their
+    cycles come from the ledger and their artefacts are already on disk —
+    so a resumed sweep produces the same table and the same per-variant
+    trace/manifest files as an uninterrupted one."""
     from repro.cachier.annotator import Policy
 
     spec = get_workload(name, **kwargs)
@@ -105,17 +114,41 @@ def run_benchmark(
     )
     row = Fig6Row(benchmark=name)
     factory = _obs_factory(name, obs_dir) if obs_dir else None
-    for variant, result in variants.run_all(observer_factory=factory).items():
+    for variant in variants.programs:
+        key = f"{name}/{variant}"
+        if sweep is not None and key in sweep.completed:
+            row.cycles[variant] = sweep.completed[key]
+            continue
+        result = variants.run(
+            variant,
+            factory(variant) if factory else None,
+            faults_seed=faults_seed,
+            verify=verify,
+        )
         row.cycles[variant] = result.cycles
+        if sweep is not None:
+            sweep.mark(key, result.cycles)
     return row
 
 
 def run_figure6(
     benchmarks=FIG6_BENCHMARKS, include_prefetch: bool = True, policy=None,
-    obs_dir: str | None = None,
+    obs_dir: str | None = None, faults_seed: int | None = None,
+    verify: bool = False, checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list[Fig6Row]:
+    sweep = None
+    if checkpoint_dir is not None:
+        from repro.harness.checkpoint import SweepState
+
+        sweep = SweepState(checkpoint_dir)
+        if resume:
+            sweep.load()
+        else:
+            sweep.clear()
     return [run_benchmark(name, include_prefetch, policy=policy,
-                          obs_dir=obs_dir)
+                          obs_dir=obs_dir, faults_seed=faults_seed,
+                          verify=verify, sweep=sweep)
             for name in benchmarks]
 
 
@@ -140,7 +173,7 @@ def render_figure6(rows: list[Fig6Row]) -> str:
     )
 
 
-def main(argv=None) -> int:
+def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--benchmark",
@@ -163,7 +196,29 @@ def main(argv=None) -> int:
              "(<bench>-<variant>.trace.json, open in Perfetto) and JSONL "
              "manifests into DIR",
     )
+    parser.add_argument(
+        "--faults", type=int, metavar="SEED", default=None,
+        help="inject the seeded fault tape (repro.faults) into every run; "
+             "cycles change, normalized conclusions should survive",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="attach the online coherence invariant checker to every run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="record each completed (benchmark, variant) run under DIR so "
+             "a killed sweep can be restarted with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip (benchmark, variant) runs already recorded as complete "
+             "in --checkpoint-dir; the resumed sweep prints the same table "
+             "as an uninterrupted one",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     from repro.cachier.annotator import Policy
 
     names = tuple(args.benchmark) if args.benchmark else FIG6_BENCHMARKS
@@ -172,11 +227,21 @@ def main(argv=None) -> int:
         include_prefetch=not args.no_prefetch,
         policy=Policy(args.policy),
         obs_dir=args.obs_dir,
+        faults_seed=args.faults,
+        verify=args.verify,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     print(render_figure6(rows))
     if args.obs_dir:
         print(f"// observability artefacts written to {args.obs_dir}/")
     return 0
+
+
+def main(argv=None) -> int:
+    from repro.cliutil import run_cli
+
+    return run_cli(_main, argv, prog="cachier-figure6")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,18 @@ when given, the machine publishes onto the observer's bus and the run's
 metrics / epoch timeline / Chrome trace events are attached to the
 :class:`RunResult` (``result.obs``).  Observation never changes the
 simulated cycles or statistics.
+
+Robustness hooks (all optional, all off by default):
+
+* ``faults_seed`` — attach a seeded :class:`~repro.faults.FaultInjector`;
+  timing changes, architectural results do not (barrier-deferred stall).
+* ``verify`` — attach a :class:`~repro.verify.InvariantChecker` to the
+  run's bus; the resulting :class:`~repro.verify.VerifyReport` lands in
+  ``result.extra["verify_report"]`` and violations raise
+  :class:`~repro.errors.VerifyError`.
+* ``checkpoint_dir`` / ``resume`` — persist a barrier-aligned snapshot
+  (machine state + shared-store values) after every barrier and, on
+  ``resume=True``, fast-forward a fresh run from the last complete one.
 """
 
 from __future__ import annotations
@@ -21,6 +33,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.cachier.annotator import Cachier, CachierResult, Policy
+from repro.errors import VerifyError
+from repro.faults import make_injector
 from repro.lang.ast import Program
 from repro.lang.interp import Interpreter, SharedStore
 from repro.machine.config import MachineConfig
@@ -33,13 +47,87 @@ from repro.trace.records import Trace
 ParamsFn = Callable[[int], dict]
 
 
+def _checkpointer(checkpoint_dir, name, flavor):
+    from repro.harness.checkpoint import Checkpointer
+
+    return Checkpointer(checkpoint_dir, f"{name}.{flavor}")
+
+
+def _run_machine(
+    machine: Machine,
+    store: SharedStore,
+    kernel_factory,
+    *,
+    verify: bool,
+    strict_verify: bool,
+    verify_label: str,
+    checkpoint_dir,
+    checkpoint_name: str,
+    flavor: str,
+    resume: bool,
+) -> RunResult:
+    """Shared tail of trace/timing runs: wire checker + checkpointing,
+    execute, finalize the checker, attach reports."""
+    checker = None
+    if verify:
+        from repro.verify import InvariantChecker
+
+        checker = InvariantChecker(
+            machine.protocol, strict_cico=strict_verify, label=verify_label
+        )
+        checker.subscribe(machine.bus)
+
+    checkpoint_cb = None
+    resume_snap = None
+    on_resume = None
+    if checkpoint_dir is not None:
+        ckpt = _checkpointer(checkpoint_dir, checkpoint_name, flavor)
+        if resume:
+            resume_snap = ckpt.load()
+            if resume_snap is not None:
+                values = resume_snap.get("store") or {}
+
+                def on_resume(values=values):
+                    store.restore_values(values)
+
+        def checkpoint_cb(snap, ckpt=ckpt, store=store):
+            snap["store"] = store.snapshot_values()
+            ckpt.save(snap)
+
+    try:
+        result = machine.run(
+            kernel_factory,
+            checkpoint=checkpoint_cb,
+            resume_from=resume_snap,
+            on_resume=on_resume,
+        )
+    except VerifyError as exc:
+        if checker is not None:
+            exc.report = checker.failure_report(exc)
+        raise
+    if checker is not None:
+        result.extra["verify_report"] = checker.finalize(result)
+    if machine.faults is not None:
+        result.extra["fault_stats"] = machine.faults.stats.as_dict()
+    return result
+
+
 def trace_program(
     program: Program,
     config: MachineConfig,
     params_fn: ParamsFn | None = None,
     observer: Observer | None = None,
+    *,
+    faults_seed: int | None = None,
+    verify: bool = False,
+    strict_verify: bool = False,
 ) -> Trace:
-    """Collect the per-epoch miss trace of an unannotated program."""
+    """Collect the per-epoch miss trace of an unannotated program.
+
+    Per-epoch miss sets are invariant under fault injection (the stall is
+    barrier-deferred), so a fault-injected trace equals the fault-free one
+    — a property the determinism tests pin down.
+    """
     store = SharedStore(program, block_size=config.block_size)
     collector = TraceCollector(
         labels=store.labels,
@@ -54,7 +142,17 @@ def trace_program(
             params_fn=params_fn, num_nodes=config.num_nodes,
         )
     interp = Interpreter(program, store, params_fn=params_fn)
-    result = Machine(config, bus=bus, flush_at_barrier=True).run(interp.kernel)
+    machine = Machine(
+        config, bus=bus, flush_at_barrier=True,
+        faults=make_injector(faults_seed),
+    )
+    result = _run_machine(
+        machine, store, interp.kernel,
+        verify=verify, strict_verify=strict_verify,
+        verify_label=f"{program.name}/trace",
+        checkpoint_dir=None, checkpoint_name=program.name, flavor="trace",
+        resume=False,
+    )
     if observer is not None:
         observer.finalize(result)
     return collector.finish()
@@ -65,6 +163,14 @@ def run_program(
     config: MachineConfig,
     params_fn: ParamsFn | None = None,
     observer: Observer | None = None,
+    *,
+    faults_seed: int | None = None,
+    verify: bool = False,
+    strict_verify: bool = False,
+    verify_label: str = "",
+    checkpoint_dir: str | None = None,
+    checkpoint_name: str | None = None,
+    resume: bool = False,
 ) -> tuple[RunResult, SharedStore]:
     """Timing run (no trace-mode flushing)."""
     store = SharedStore(program, block_size=config.block_size)
@@ -75,7 +181,20 @@ def run_program(
         )
     interp = Interpreter(program, store, params_fn=params_fn)
     bus = observer.bus if observer is not None else None
-    result = Machine(config, flush_at_barrier=False, bus=bus).run(interp.kernel)
+    if bus is None and verify:
+        bus = EventBus()
+    machine = Machine(
+        config, flush_at_barrier=False, bus=bus,
+        faults=make_injector(faults_seed),
+    )
+    result = _run_machine(
+        machine, store, interp.kernel,
+        verify=verify, strict_verify=strict_verify,
+        verify_label=verify_label or program.name,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name or program.name, flavor="run",
+        resume=resume,
+    )
     if observer is not None:
         observer.finalize(result)
     return result, store

@@ -35,10 +35,18 @@ class VariantSet:
     programs: dict[str, Program] = field(default_factory=dict)
     results: dict[str, CachierResult] = field(default_factory=dict)
 
-    def run(self, variant: str, observer: Observer | None = None) -> RunResult:
+    def run(
+        self,
+        variant: str,
+        observer: Observer | None = None,
+        *,
+        faults_seed: int | None = None,
+        verify: bool = False,
+    ) -> RunResult:
         result, _ = run_program(
             self.programs[variant], self.spec.config, self.spec.params_fn,
-            observer=observer,
+            observer=observer, faults_seed=faults_seed, verify=verify,
+            verify_label=f"{self.spec.name}/{variant}",
         )
         return result
 

@@ -145,6 +145,17 @@ class SharedStore:
             return flat.reshape(lab.shape)
         return flat.reshape(tuple(reversed(lab.shape))).transpose()
 
+    def snapshot_values(self) -> dict[str, list[float]]:
+        """All array values as plain lists (JSON-able, for barrier
+        checkpoints).  Restoring them with :meth:`restore_values` after a
+        resume fast-forward corrects any drift a racy epoch replay left."""
+        return {name: arr.tolist() for name, arr in self.values.items()}
+
+    def restore_values(self, values: dict[str, list[float]]) -> None:
+        for name, vals in values.items():
+            arr = self.values[name]
+            arr[:] = np.asarray(vals, dtype=np.float64)
+
 
 @dataclass(slots=True)
 class _Ctx:

@@ -27,12 +27,22 @@ class MachineConfig:
     #: "dir1sw" (the paper's protocol) or "fullmap" (DASH-style baseline
     #: with hardware multicast invalidation, for the protocol ablation).
     protocol: str = "dir1sw"
+    #: watchdog: a node whose virtual clock passes this raises a
+    #: :class:`~repro.errors.WatchdogError` naming the stuck node and pc
+    #: instead of spinning forever on a livelocked workload.  ``None``
+    #: disables the watchdog; the default is ~4 orders of magnitude above
+    #: the longest built-in workload.
+    max_cycles: int | None = 10_000_000_000
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise MachineError(f"num_nodes must be positive, got {self.num_nodes}")
         if self.protocol not in ("dir1sw", "fullmap"):
             raise MachineError(f"unknown protocol {self.protocol!r}")
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise MachineError(
+                f"max_cycles must be positive or None, got {self.max_cycles}"
+            )
         check_power_of_two(self.cache_size, "cache_size")
         check_power_of_two(self.block_size, "block_size")
 

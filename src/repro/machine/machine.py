@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Protocol
 from repro.cache.stats import CacheStats
 from repro.coherence.messages import MessageKind
 from repro.coherence.protocol import AccessKind, AccessResult, Dir1SWProtocol
-from repro.errors import BarrierError, MachineError
+from repro.errors import BarrierError, CheckpointError, MachineError, WatchdogError
 from repro.machine.config import MachineConfig
 from repro.machine.events import (
     DIR_CHECK_IN,
@@ -57,7 +57,11 @@ from repro.obs.events import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
     from repro.obs.session import Observation
+
+#: snapshot format version written by :meth:`Machine.snapshot`
+SNAPSHOT_VERSION = 1
 
 
 class RunListener(Protocol):
@@ -137,11 +141,13 @@ class _NodeState:
     waiting_lock: int | None = None
     done: bool = False
     pending: tuple | None = None  # action deferred until its clock is minimal
+    last_pc: int = -1  # pc of the most recent event (watchdog diagnostics)
 
 
 class Machine:
     def __init__(self, config: MachineConfig, listener: RunListener | None = None,
-                 flush_at_barrier: bool = False, bus: EventBus | None = None):
+                 flush_at_barrier: bool = False, bus: EventBus | None = None,
+                 faults: "FaultInjector | None" = None):
         self.config = config
         self.bus = bus if bus is not None else EventBus()
         if config.protocol == "fullmap":
@@ -157,7 +163,9 @@ class Machine:
             assoc=config.assoc,
             cost=config.cost,
             bus=self.bus,
+            faults=faults,
         )
+        self.faults = faults
         self.listener = listener
         if listener is not None:
             subscribe_listener(self.bus, listener)
@@ -168,25 +176,61 @@ class Machine:
         # lock addr -> FIFO of (node, pc, enqueue clock)
         self._lock_queues: dict[int, deque[tuple[int, int, int]]] = {}
         self._barrier_vts: list[int] = []  # virtual time at each barrier
+        self._nodes: list[_NodeState] = []  # populated by run()
 
     # ------------------------------------------------------------------ run
-    def run(self, kernel_factory: KernelFactory) -> RunResult:
-        """Execute ``kernel_factory(node_id)`` on every node to completion."""
+    def run(
+        self,
+        kernel_factory: KernelFactory,
+        *,
+        checkpoint: Callable[[dict], None] | None = None,
+        resume_from: dict | None = None,
+        on_resume: Callable[[], None] | None = None,
+    ) -> RunResult:
+        """Execute ``kernel_factory(node_id)`` on every node to completion.
+
+        ``checkpoint``, if given, is called with :meth:`snapshot` after every
+        barrier release.  ``resume_from`` fast-forwards a fresh machine to a
+        previously snapshotted barrier (see :meth:`restore`) before the main
+        loop starts; ``on_resume`` fires once after the fast-forward, letting
+        the caller restore ambient state (e.g. shared-store values) that the
+        machine itself does not own.
+        """
         cfg = self.config
         nodes = [_NodeState(kernel=kernel_factory(i)) for i in range(cfg.num_nodes)]
-        # Ready heap of (clock, node_id); nodes waiting at a barrier or on a
-        # lock are absent from the heap until released.
-        heap: list[tuple[int, int]] = [(0, i) for i in range(cfg.num_nodes)]
+        self._nodes = nodes
+        if resume_from is not None:
+            self.restore(nodes, resume_from)
+            if on_resume is not None:
+                on_resume()
+            live = sum(1 for n in nodes if not n.done)
+            heap: list[tuple[int, int]] = [
+                (n.clock, i) for i, n in enumerate(nodes) if not n.done
+            ]
+        else:
+            live = cfg.num_nodes
+            # Ready heap of (clock, node_id); nodes waiting at a barrier or
+            # on a lock are absent from the heap until released.
+            heap = [(0, i) for i in range(cfg.num_nodes)]
         heapq.heapify(heap)
-        live = cfg.num_nodes
         barrier_waiters: list[int] = []
         bus = self.bus
+        faults = self.faults
+        max_cycles = cfg.max_cycles
 
         while heap:
             clock, nid = heapq.heappop(heap)
             state = nodes[nid]
             if state.clock != clock:
                 continue  # stale heap entry
+            if max_cycles is not None and clock > max_cycles:
+                raise WatchdogError(
+                    f"node {nid} passed {max_cycles} cycles (last pc "
+                    f"{state.last_pc}); workload livelocked or max_cycles "
+                    f"too low for this run",
+                    node=nid,
+                    pc=state.last_pc,
+                )
             if state.pending is not None:
                 event = state.pending
                 state.pending = None
@@ -194,6 +238,8 @@ class Machine:
                 try:
                     event = next(state.kernel)
                 except StopIteration:
+                    if faults is not None:
+                        state.clock += faults.final_stall(nid)
                     state.done = True
                     live -= 1
                     if bus.wants(EventKind.NODE_DONE):
@@ -217,6 +263,7 @@ class Machine:
                         continue
 
             code = event[0]
+            state.last_pc = event[-1]  # every kernel event ends with its pc
             if code == EV_REF:
                 _, _compute, addr, is_write, pc = event
                 if addr >= 0:
@@ -236,12 +283,19 @@ class Machine:
 
             elif code == EV_BARRIER:
                 _, _compute, pc = event
+                if faults is not None:
+                    # All fault latency owed by this node lands here, at the
+                    # barrier — never mid-epoch — so the intra-epoch
+                    # interleaving stays identical to the fault-free run.
+                    state.clock += faults.barrier_stall(nid)
                 state.at_barrier = True
                 state.barrier_pc = pc
                 barrier_waiters.append(nid)
                 if len(barrier_waiters) == live:
                     self._release_barrier(nodes, barrier_waiters, heap)
                     barrier_waiters = []
+                    if checkpoint is not None:
+                        checkpoint(self.snapshot())
                 # else: node stays off the heap until the barrier opens
 
             elif code == EV_DIRECTIVE:
@@ -380,3 +434,120 @@ class Machine:
             else:
                 raise MachineError(f"unknown directive kind {kind}")
         return cycles
+
+    # ------------------------------------------------------------ checkpoint
+    def snapshot(self) -> dict:
+        """The machine's full state at a just-released barrier (JSON-able).
+
+        Only barrier instants are snapshot-able: every node's clock is the
+        common resume time, no protocol operation is in flight, and the
+        kernels are at a program point the resume path can fast-forward to
+        deterministically.  Refuses to snapshot while locks are held (a lock
+        spanning a barrier would need queue state the fast-forward replay
+        cannot reconstruct).
+        """
+        if not self._nodes:
+            raise CheckpointError("snapshot() is only valid during run()")
+        if self._lock_holders:
+            raise CheckpointError(
+                f"cannot checkpoint while locks are held: "
+                f"{sorted(self._lock_holders)}"
+            )
+        nodes = self._nodes
+        faults = self.faults
+        return {
+            "version": SNAPSHOT_VERSION,
+            "num_nodes": self.config.num_nodes,
+            "flush_at_barrier": self.flush_at_barrier,
+            "epoch": self.epoch,
+            "barrier_vts": list(self._barrier_vts),
+            "node_clocks": [n.clock for n in nodes],
+            "done": [i for i, n in enumerate(nodes) if n.done],
+            "barrier_pcs": {
+                str(i): n.barrier_pc for i, n in enumerate(nodes) if not n.done
+            },
+            "protocol": self.protocol.snapshot_state(),
+            "faults": None if faults is None else faults.snapshot_state(),
+        }
+
+    def restore(self, nodes: list[_NodeState], snap: dict) -> None:
+        """Fast-forward fresh kernels to the snapshot's barrier and restore
+        all architectural state.
+
+        Kernels are Python generators and cannot be serialised, so resume
+        re-runs them *epoch-synchronously*: for each checkpointed epoch, each
+        node's kernel is drained to its next barrier (in node-id order), its
+        events discarded — shared-store writes re-execute as side effects of
+        generation, which is what keeps later epochs' control flow honest.
+        Architectural state (caches, directory, stats, traffic, fault tape)
+        is then restored from the snapshot verbatim, and the replayed barrier
+        pcs are checked against the checkpoint: any divergence (changed
+        workload, nondeterministic kernel) raises
+        :class:`~repro.errors.CheckpointError` rather than silently
+        continuing a corrupted run.
+        """
+        cfg = self.config
+        if snap.get("version") != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported snapshot version {snap.get('version')!r} "
+                f"(this build writes {SNAPSHOT_VERSION})"
+            )
+        if snap.get("num_nodes") != cfg.num_nodes:
+            raise CheckpointError(
+                f"snapshot is for {snap.get('num_nodes')} nodes, machine has "
+                f"{cfg.num_nodes}"
+            )
+        if bool(snap.get("flush_at_barrier")) != self.flush_at_barrier:
+            raise CheckpointError(
+                "snapshot and machine disagree on flush_at_barrier "
+                "(trace-mode vs timing-mode runs cannot resume each other)"
+            )
+        fstate = snap.get("faults")
+        if (fstate is None) != (self.faults is None):
+            raise CheckpointError(
+                "snapshot and machine disagree on fault injection; resume "
+                "with the same --faults seed the checkpointed run used"
+            )
+        target_epoch = int(snap["epoch"])
+        done_set = {int(i) for i in snap.get("done", ())}
+        finished: set[int] = set()
+        last_barrier_pc = [-1] * cfg.num_nodes
+        for _epoch in range(target_epoch):
+            for nid, state in enumerate(nodes):
+                if nid in finished:
+                    continue
+                while True:  # drain this node to its next barrier
+                    try:
+                        event = next(state.kernel)
+                    except StopIteration:
+                        finished.add(nid)
+                        break
+                    if event[0] == EV_BARRIER:
+                        last_barrier_pc[nid] = event[-1]
+                        break
+        if finished != done_set:
+            raise CheckpointError(
+                f"replay divergence: nodes {sorted(finished)} finished during "
+                f"fast-forward but the checkpoint records {sorted(done_set)} "
+                f"done at epoch {target_epoch}"
+            )
+        for key, pc in (snap.get("barrier_pcs") or {}).items():
+            nid = int(key)
+            if last_barrier_pc[nid] != int(pc):
+                raise CheckpointError(
+                    f"replay divergence at node {nid}: reached barrier pc "
+                    f"{last_barrier_pc[nid]} but the checkpoint records pc "
+                    f"{pc} at epoch {target_epoch}"
+                )
+        node_clocks = snap["node_clocks"]
+        for nid, state in enumerate(nodes):
+            state.clock = int(node_clocks[nid])
+            state.done = nid in done_set
+            state.at_barrier = False
+            state.barrier_pc = last_barrier_pc[nid]
+        self.protocol.restore_state(snap["protocol"])
+        self.epoch = target_epoch
+        self.protocol.set_epoch(target_epoch)
+        if fstate is not None:
+            self.faults.restore_state(fstate)
+        self._barrier_vts = list(snap["barrier_vts"])

@@ -18,11 +18,16 @@ context is bookkeeping only; it never changes latencies or traffic counts.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.coherence.messages import MessageKind
 from repro.obs.events import EventBus, EventKind, MessageEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
 
 
 @dataclass
@@ -31,6 +36,9 @@ class Network:
 
     hop_latency: int = 100
     bus: EventBus | None = None  # publishes per-message MessageEvents
+    #: optional fault injector (repro.faults); consulted on every send so a
+    #: seeded run replays the same fault tape with or without observers
+    faults: "FaultInjector | None" = None
     # context of the protocol operation currently sending (see module doc)
     node: int = -1
     epoch: int = 0
@@ -45,7 +53,16 @@ class Network:
         self.txn = txn
 
     def send(self, kind: MessageKind, count: int = 1) -> None:
-        """Record ``count`` messages of ``kind`` (traffic accounting only)."""
+        """Record ``count`` messages of ``kind`` (traffic accounting only).
+
+        With a fault injector attached, messages may additionally be
+        delayed, reordered (both land in the sender's barrier-deferred
+        stall) or duplicated (the duplicates are accounted as extra traffic
+        of the same kind and context).
+        """
+        faults = self.faults
+        if faults is not None:
+            count += faults.on_message(self.node, kind, count, self.hop_latency)
         self._traffic[kind] += count
         bus = self.bus
         if bus is not None and bus.wants(EventKind.MESSAGE):
@@ -70,3 +87,13 @@ class Network:
 
     def reset(self) -> None:
         self._traffic.clear()
+
+    # ----------------------------------------------------------- checkpoint
+    def snapshot_traffic(self) -> dict[str, int]:
+        """Traffic counters keyed by message-kind value (JSON-able)."""
+        return {kind.value: count for kind, count in self._traffic.items()}
+
+    def restore_traffic(self, traffic: dict[str, int]) -> None:
+        self._traffic.clear()
+        for kind, count in traffic.items():
+            self._traffic[MessageKind(kind)] = int(count)

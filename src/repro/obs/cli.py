@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.cliutil import run_cli
 from repro.harness.reporting import render_table
 from repro.obs.export import read_manifest, write_chrome_trace, write_manifest
 from repro.obs.metrics import counter_delta
@@ -127,10 +128,22 @@ def _cmd_run(args) -> int:
             "num_nodes": spec.config.num_nodes,
         },
     )
-    run_program(program, spec.config, spec.params_fn, observer=observer)
+    result, _ = run_program(
+        program, spec.config, spec.params_fn, observer=observer,
+        faults_seed=args.faults, verify=args.verify,
+    )
     obs = observer.observation
     assert obs is not None
     print(render_observation(obs))
+    if args.faults is not None:
+        fstats = result.extra["fault_stats"]
+        print("fault injection (seed {}): {}".format(
+            args.faults,
+            " ".join(f"{k}={v}" for k, v in fstats.items() if v)))
+    if args.verify:
+        report = result.extra["verify_report"]
+        print(f"invariants verified: {sum(report.checks.values())} checks, "
+              f"{len(report.warnings)} cico warnings")
     if args.trace_out:
         write_chrome_trace(obs, args.trace_out)
         print(f"chrome trace written to {args.trace_out} "
@@ -299,7 +312,7 @@ def _cmd_diff(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -319,6 +332,13 @@ def main(argv=None) -> int:
                        help="write the JSONL run manifest")
     run_p.add_argument("--include-hits", action="store_true",
                        help="record cache hits as trace spans too (verbose)")
+    run_p.add_argument("--faults", type=int, metavar="SEED", default=None,
+                       help="inject the seeded fault tape (repro.faults); "
+                            "timing and traffic change, architectural "
+                            "results do not")
+    run_p.add_argument("--verify", action="store_true",
+                       help="attach the online coherence invariant checker "
+                            "(repro.verify) to the run")
     run_p.set_defaults(func=_cmd_run)
 
     sum_p = sub.add_parser("summarize", help="re-render a JSONL manifest")
@@ -407,6 +427,10 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def main(argv=None) -> int:
+    return run_cli(_main, argv, prog="repro-obs")
 
 
 if __name__ == "__main__":

@@ -49,15 +49,104 @@ def _write(trace: Trace, fh) -> None:
             f"label {lab.name} {lab.base} {lab.nbytes} {lab.elem_size} "
             f"{lab.order} {shape}\n"
         )
-    for rec in trace.misses:
+    # Stream records in epoch order — each epoch's misses, then its barrier
+    # records — so a file truncated by a killed run still ends with whole
+    # epochs that salvage_trace can recover.  Misses and barriers are
+    # collected in simulation order (epochs are monotone), so this preserves
+    # each list's order and read_trace round-trips identically.
+    mi = bi = 0
+    misses, barriers = trace.misses, trace.barriers
+    while bi < len(barriers):
+        epoch = barriers[bi].epoch
+        while mi < len(misses) and misses[mi].epoch <= epoch:
+            rec = misses[mi]
+            fh.write(
+                f"miss {rec.kind.value} {rec.addr} {rec.pc} {rec.node} {rec.epoch}\n"
+            )
+            mi += 1
+        while bi < len(barriers) and barriers[bi].epoch == epoch:
+            rec = barriers[bi]
+            fh.write(f"barrier {rec.node} {rec.barrier_pc} {rec.vt} {rec.epoch}\n")
+            bi += 1
+    for rec in misses[mi:]:
         fh.write(f"miss {rec.kind.value} {rec.addr} {rec.pc} {rec.node} {rec.epoch}\n")
-    for rec in trace.barriers:
-        fh.write(f"barrier {rec.node} {rec.barrier_pc} {rec.vt} {rec.epoch}\n")
 
 
 def read_trace(path: str | Path) -> Trace:
     with open(path, "r", encoding="ascii") as fh:
         return _read(fh)
+
+
+def salvage_trace(path: str | Path) -> tuple[Trace, list[str]]:
+    """Best-effort read of a possibly truncated or corrupted trace file.
+
+    Returns ``(trace, warnings)``.  Malformed lines are skipped (collected
+    as warnings) instead of raising, and every epoch from the first point of
+    damage onwards — a skipped line, or the unterminated final line of a run
+    killed mid-write — is dropped: a damaged epoch's miss list cannot be
+    known complete, and annotating from a partial epoch silently produces
+    *wrong* annotations rather than merely fewer.  An undamaged file
+    round-trips identically to :func:`read_trace`.
+
+    Raises :class:`~repro.errors.TraceError` when nothing is salvageable
+    (bad header, or no complete epoch survives).
+    """
+    try:
+        with open(path, "r", encoding="ascii", errors="replace") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TraceError(f"{path}: cannot read trace: {exc}") from exc
+    lines = text.split("\n")
+    damaged = bool(text) and not text.endswith("\n")
+    if damaged:
+        # the unterminated final line is by definition incomplete
+        lines = lines[:-1] + [""]
+    if not lines or lines[0].rstrip() != _MAGIC:
+        raise TraceError(f"{path}: bad trace header — nothing salvageable")
+    warnings: list[str] = []
+    trace = Trace()
+    skipped = 0
+    # Epoch at the first point of damage: everything from it on is suspect.
+    damage_epoch: int | None = None
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            _parse_line(trace, line, lineno)
+        except TraceError:
+            skipped += 1
+            damaged = True
+            if damage_epoch is None:
+                damage_epoch = max(
+                    (rec.epoch for rec in trace.barriers), default=-1
+                ) + 1
+    if skipped:
+        warnings.append(f"skipped {skipped} malformed line(s)")
+    if not trace.barriers:
+        raise TraceError(
+            f"{path}: no complete epoch survives — nothing salvageable"
+        )
+    if damaged:
+        drop_from = max(rec.epoch for rec in trace.barriers)
+        if damage_epoch is not None:
+            drop_from = min(drop_from, damage_epoch)
+        kept_b = [rec for rec in trace.barriers if rec.epoch < drop_from]
+        kept_m = [rec for rec in trace.misses if rec.epoch < drop_from]
+        if not kept_b:
+            raise TraceError(
+                f"{path}: no complete epoch survives — nothing salvageable"
+            )
+        dropped = (len(trace.barriers) - len(kept_b),
+                   len(trace.misses) - len(kept_m))
+        trace.barriers = kept_b
+        trace.misses = kept_m
+        warnings.append(
+            f"file is damaged: dropped the trailing epoch(s) >= {drop_from} "
+            f"({dropped[1]} miss / {dropped[0]} barrier records); "
+            f"annotating from the {drop_from} complete epoch(s) only"
+        )
+    return trace, warnings
 
 
 def trace_from_string(text: str) -> Trace:
@@ -73,51 +162,56 @@ def _read(fh) -> Trace:
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split()
-        tag = parts[0]
-        try:
-            if tag == "meta":
-                if parts[1] == "block_size":
-                    trace.block_size = int(parts[2])
-                elif parts[1] == "num_nodes":
-                    trace.num_nodes = int(parts[2])
-                else:
-                    raise TraceError(f"line {lineno}: unknown meta {parts[1]!r}")
-            elif tag == "label":
-                name, base, nbytes, elem_size, order = parts[1:6]
-                shape = tuple(int(x) for x in parts[6:])
-                if not shape:
-                    raise TraceError(f"line {lineno}: label without shape")
-                trace.labels.append(
-                    LabelInfo(
-                        name=name,
-                        base=int(base),
-                        nbytes=int(nbytes),
-                        elem_size=int(elem_size),
-                        order=order,
-                        shape=shape,
-                    )
-                )
-            elif tag == "miss":
-                kind, addr, pc, node, epoch = parts[1:6]
-                trace.misses.append(
-                    MissRecord(
-                        kind=MissKind(kind),
-                        addr=int(addr),
-                        pc=int(pc),
-                        node=int(node),
-                        epoch=int(epoch),
-                    )
-                )
-            elif tag == "barrier":
-                node, pc, vt, epoch = parts[1:5]
-                trace.barriers.append(
-                    BarrierRecord(
-                        node=int(node), barrier_pc=int(pc), vt=int(vt), epoch=int(epoch)
-                    )
-                )
-            else:
-                raise TraceError(f"line {lineno}: unknown record {tag!r}")
-        except (ValueError, IndexError) as exc:
-            raise TraceError(f"line {lineno}: malformed record {line!r}") from exc
+        _parse_line(trace, line, lineno)
     return trace
+
+
+def _parse_line(trace: Trace, line: str, lineno: int) -> None:
+    """Parse one record line into ``trace``; raises TraceError if malformed."""
+    parts = line.split()
+    tag = parts[0]
+    try:
+        if tag == "meta":
+            if parts[1] == "block_size":
+                trace.block_size = int(parts[2])
+            elif parts[1] == "num_nodes":
+                trace.num_nodes = int(parts[2])
+            else:
+                raise TraceError(f"line {lineno}: unknown meta {parts[1]!r}")
+        elif tag == "label":
+            name, base, nbytes, elem_size, order = parts[1:6]
+            shape = tuple(int(x) for x in parts[6:])
+            if not shape:
+                raise TraceError(f"line {lineno}: label without shape")
+            trace.labels.append(
+                LabelInfo(
+                    name=name,
+                    base=int(base),
+                    nbytes=int(nbytes),
+                    elem_size=int(elem_size),
+                    order=order,
+                    shape=shape,
+                )
+            )
+        elif tag == "miss":
+            kind, addr, pc, node, epoch = parts[1:6]
+            trace.misses.append(
+                MissRecord(
+                    kind=MissKind(kind),
+                    addr=int(addr),
+                    pc=int(pc),
+                    node=int(node),
+                    epoch=int(epoch),
+                )
+            )
+        elif tag == "barrier":
+            node, pc, vt, epoch = parts[1:5]
+            trace.barriers.append(
+                BarrierRecord(
+                    node=int(node), barrier_pc=int(pc), vt=int(vt), epoch=int(epoch)
+                )
+            )
+        else:
+            raise TraceError(f"line {lineno}: unknown record {tag!r}")
+    except (ValueError, IndexError) as exc:
+        raise TraceError(f"line {lineno}: malformed record {line!r}") from exc

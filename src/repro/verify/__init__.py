@@ -1,0 +1,450 @@
+"""Online coherence invariant checker (the robustness counterpart of obs).
+
+:class:`InvariantChecker` subscribes to a run's
+:class:`~repro.obs.events.EventBus` and checks, *while the run executes*,
+that the simulated machine never leaves its legal envelope:
+
+* **SWMR** — at every write, the writer holds the only copy of the block
+  (single-writer/multiple-reader, the definition of coherence);
+* **directory/cache agreement** — at every barrier, the directory's sharer
+  sets, counts and states match what the caches actually hold (a full
+  bidirectional scan via :meth:`Dir1SWProtocol.invariant_check` plus a
+  cache-side exclusive-copy scan);
+* **CICO discipline** — under Performance CICO a checked-in block should not
+  be touched again before a new check-out, and an explicit check-out should
+  be balanced by a check-in before the epoch's barrier.  Violations are
+  *performance* bugs, not correctness bugs (the paper's Performance policy
+  makes annotations hints), so they are collected as warnings by default and
+  only raise under ``strict_cico``;
+* **barrier epoch consistency** — epochs arrive in order 0,1,2,..., virtual
+  time is monotone, the resume clock is ``vt + barrier_cycles``, and every
+  not-yet-finished node participates in every barrier;
+* **event/metric conservation** — at finalize, the events the bus delivered
+  must reconcile exactly with the run's counters: traps, recalls, messages,
+  barriers, node completions and cache hits.  A mismatch means an event was
+  dropped or double-counted somewhere between the protocol and the bus.
+
+Failures raise :class:`~repro.errors.VerifyError` carrying the node, epoch
+and block involved plus the recent event chain — per-node ring buffers
+joined with the slow-path transaction ids of PR 3 — so a violation names
+the history that led to it, not just the instant it was noticed.
+
+The checker reads the protocol's state as ground truth but never mutates
+it, and costs nothing when not subscribed (the bus's ``wants`` guards).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.cache.state import LineState
+from repro.coherence.directory import DirState
+from repro.errors import ProtocolError, VerifyError
+from repro.machine.events import (
+    DIR_CHECK_IN,
+    DIR_CHECK_OUT_S,
+    DIR_CHECK_OUT_X,
+    DIRECTIVE_NAMES,
+)
+from repro.obs.events import EventBus, EventKind
+
+__all__ = ["InvariantChecker", "VerifyReport", "verify_run"]
+
+_OUT = "out"
+_IN = "in"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one checked run (JSON-able via :meth:`as_dict`)."""
+
+    label: str = ""
+    ok: bool = True
+    error: str | None = None
+    #: how many of each check actually executed (a clean report with zero
+    #: checks means the checker was never wired up — treat as suspicious)
+    checks: dict[str, int] = field(default_factory=dict)
+    #: events seen on the bus, by kind
+    events: dict[str, int] = field(default_factory=dict)
+    #: CICO discipline findings (warnings unless strict_cico)
+    warnings: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "error": self.error,
+            "checks": dict(self.checks),
+            "events": dict(self.events),
+            "warnings": list(self.warnings),
+        }
+
+
+class InvariantChecker:
+    """Subscribe me to a machine's bus *before* the run starts.
+
+    ``finalize(result)`` must be called with the finished
+    :class:`~repro.machine.machine.RunResult` to run the conservation
+    checks and obtain the :class:`VerifyReport`.
+    """
+
+    def __init__(
+        self,
+        protocol,
+        *,
+        strict_cico: bool = False,
+        chain_depth: int = 24,
+        label: str = "",
+    ):
+        self.protocol = protocol
+        self.strict_cico = strict_cico
+        self.label = label
+        self._shift = protocol.block_size.bit_length() - 1
+        n = protocol.num_nodes
+        # CICO discipline state, reset at every barrier: block -> _OUT | _IN
+        self._cico: list[dict[int, str]] = [{} for _ in range(n)]
+        self._done: set[int] = set()
+        self._epoch = 0
+        self._last_vt = 0
+        # recent-event ring buffers: per node, plus per slow-path txn
+        self._recent: list[deque[str]] = [
+            deque(maxlen=chain_depth) for _ in range(n)
+        ]
+        self._txn_events: OrderedDict[int, list[str]] = OrderedDict()
+        self._counts = {
+            "accesses": 0, "hits": 0, "traps": 0, "recalls": 0,
+            "messages": 0, "barriers": 0, "directives": 0, "node_done": 0,
+        }
+        self._checks = {
+            "swmr": 0, "dir-cache-agreement": 0, "cico-discipline": 0,
+            "epoch-consistency": 0, "conservation": 0,
+        }
+        self.warnings: list[str] = []
+        self._finalized = False
+
+    # -------------------------------------------------------------- wiring
+    def subscribe(self, bus: EventBus) -> int:
+        """Listen to every event kind; returns the bus token."""
+        return bus.subscribe(None, self._on_event)
+
+    def _on_event(self, event) -> None:
+        kind = event.kind
+        if kind is EventKind.ACCESS:
+            self._on_access(event)
+        elif kind is EventKind.DIRECTIVE:
+            self._on_directive(event)
+        elif kind is EventKind.BARRIER:
+            self._on_barrier(event)
+        elif kind is EventKind.TRAP:
+            self._counts["traps"] += 1
+            self._remember(event.node, event.txn,
+                           f"t={event.t} node={event.node} TRAP block={event.block} "
+                           f"copies={event.copies} txn={event.txn}")
+        elif kind is EventKind.RECALL:
+            self._counts["recalls"] += 1
+            self._remember(event.node, event.txn,
+                           f"t={event.t} node={event.node} RECALL block={event.block} "
+                           f"owner={event.owner} txn={event.txn}")
+        elif kind is EventKind.MESSAGE:
+            self._counts["messages"] += event.count
+            if event.txn >= 0:
+                self._txn_note(event.txn,
+                               f"t={event.t} node={event.node} MSG "
+                               f"{event.msg.value} x{event.count} txn={event.txn}")
+        elif kind is EventKind.NODE_DONE:
+            self._counts["node_done"] += 1
+            self._done.add(event.node)
+            self._remember(event.node, -1,
+                           f"t={event.t} node={event.node} DONE")
+        # lock events only feed the ring buffers
+        elif kind in (EventKind.LOCK_ACQUIRE, EventKind.LOCK_CONTEND,
+                      EventKind.LOCK_RELEASE):
+            self._remember(event.node, -1,
+                           f"t={event.t} node={event.node} {kind.name} "
+                           f"addr={event.addr:#x}")
+
+    # ------------------------------------------------------- event history
+    def _remember(self, node: int, txn: int, text: str) -> None:
+        if 0 <= node < len(self._recent):
+            self._recent[node].append(text)
+        if txn >= 0:
+            self._txn_note(txn, text)
+
+    def _txn_note(self, txn: int, text: str) -> None:
+        self._txn_events.setdefault(txn, []).append(text)
+        while len(self._txn_events) > 64:
+            self._txn_events.popitem(last=False)
+
+    def _chain(self, node: int | None, txn: int = -1) -> tuple[str, ...]:
+        """The evidence attached to a VerifyError: the node's recent events
+        plus, when the violation sits in a slow-path transaction, every
+        event that transaction raised (possibly on other nodes)."""
+        chain: list[str] = []
+        if node is not None and 0 <= node < len(self._recent):
+            chain.extend(self._recent[node])
+        if txn >= 0:
+            for text in self._txn_events.get(txn, ()):
+                if text not in chain:
+                    chain.append(text)
+        return tuple(chain)
+
+    # ------------------------------------------------------------- access
+    def _on_access(self, ev) -> None:
+        self._counts["accesses"] += 1
+        result = ev.result
+        kindname = result.kind.value
+        if kindname == "hit" and result.detail != "prefetched":
+            self._counts["hits"] += 1
+        block = ev.addr >> self._shift
+        self._remember(
+            ev.node, result.txn,
+            f"t={ev.t} node={ev.node} {'WRITE' if ev.write else 'READ'} "
+            f"addr={ev.addr:#x} block={block} pc={ev.pc} -> {kindname}"
+            + (f"/{result.detail}" if result.detail else "")
+            + (f" txn={result.txn}" if result.txn >= 0 else ""),
+        )
+        proto = self.protocol
+        line = proto.caches[ev.node].lookup(block)
+        if ev.write:
+            self._checks["swmr"] += 1
+            if line is None or line.state is not LineState.EXCLUSIVE:
+                raise VerifyError(
+                    "swmr",
+                    f"after a write the writer must hold the block "
+                    f"EXCLUSIVE, found {line.state.value if line else 'no line'}",
+                    node=ev.node, epoch=ev.epoch, block=block,
+                    chain=self._chain(ev.node, result.txn),
+                )
+            entry = proto.directory.peek(block)
+            if entry is None or entry.state is not DirState.RW or entry.ptr != ev.node:
+                raise VerifyError(
+                    "swmr",
+                    f"after a write the directory must record the writer as "
+                    f"exclusive owner, found {entry}",
+                    node=ev.node, epoch=ev.epoch, block=block,
+                    chain=self._chain(ev.node, result.txn),
+                )
+            for other, cache in enumerate(proto.caches):
+                if other != ev.node and cache.lookup(block) is not None:
+                    raise VerifyError(
+                        "swmr",
+                        f"node {other} still holds a copy of a block node "
+                        f"{ev.node} just wrote",
+                        node=ev.node, epoch=ev.epoch, block=block,
+                        chain=self._chain(ev.node, result.txn),
+                    )
+        else:
+            if line is None:
+                raise VerifyError(
+                    "dir-cache-agreement",
+                    "after a read the reader's cache must hold the block",
+                    node=ev.node, epoch=ev.epoch, block=block,
+                    chain=self._chain(ev.node, result.txn),
+                )
+        # Performance-CICO discipline: touching a block this node explicitly
+        # checked in earlier in the epoch means the check-in was premature.
+        marks = self._cico[ev.node]
+        if marks.get(block) == _IN:
+            self._checks["cico-discipline"] += 1
+            self._cico_finding(
+                f"node {ev.node} accessed block {block} (pc {ev.pc}) after "
+                f"checking it in — premature check-in",
+                node=ev.node, epoch=ev.epoch, block=block, txn=result.txn,
+            )
+            del marks[block]  # the access implicitly re-checked it out
+
+    # ---------------------------------------------------------- directives
+    def _on_directive(self, ev) -> None:
+        self._counts["directives"] += 1
+        name = DIRECTIVE_NAMES.get(ev.dkind, str(ev.dkind))
+        self._remember(
+            ev.node, -1,
+            f"t={ev.t} node={ev.node} DIRECTIVE {name} "
+            f"blocks={list(ev.blockset)} pc={ev.pc}",
+        )
+        proto = self.protocol
+        marks = self._cico[ev.node]
+        if ev.dkind in (DIR_CHECK_OUT_S, DIR_CHECK_OUT_X):
+            for block in ev.blockset:
+                marks[block] = _OUT
+                line = proto.caches[ev.node].lookup(block)
+                if (ev.dkind == DIR_CHECK_OUT_X and line is not None
+                        and line.state is not LineState.EXCLUSIVE):
+                    raise VerifyError(
+                        "dir-cache-agreement",
+                        "after check_out_X the held line must be EXCLUSIVE, "
+                        f"found {line.state.value}",
+                        node=ev.node, epoch=ev.epoch, block=block,
+                        chain=self._chain(ev.node),
+                    )
+        elif ev.dkind == DIR_CHECK_IN:
+            for block in ev.blockset:
+                marks[block] = _IN
+                if proto.caches[ev.node].lookup(block) is not None:
+                    raise VerifyError(
+                        "dir-cache-agreement",
+                        "after check_in the issuer must no longer hold the block",
+                        node=ev.node, epoch=ev.epoch, block=block,
+                        chain=self._chain(ev.node),
+                    )
+        # prefetches are non-binding hints: no post-condition to enforce
+
+    def _cico_finding(self, message, *, node, epoch, block, txn=-1) -> None:
+        if self.strict_cico:
+            raise VerifyError(
+                "cico-discipline", message,
+                node=node, epoch=epoch, block=block,
+                chain=self._chain(node, txn),
+            )
+        self.warnings.append(f"epoch {epoch}: {message}")
+
+    # -------------------------------------------------------------- barrier
+    def _on_barrier(self, ev) -> None:
+        self._counts["barriers"] += 1
+        self._checks["epoch-consistency"] += 1
+        if ev.epoch != self._epoch:
+            raise VerifyError(
+                "epoch-consistency",
+                f"barrier carries epoch {ev.epoch}, expected {self._epoch}",
+                epoch=ev.epoch, chain=self._chain(None),
+            )
+        if ev.vt < self._last_vt:
+            raise VerifyError(
+                "epoch-consistency",
+                f"barrier virtual time went backwards: {ev.vt} after "
+                f"{self._last_vt}",
+                epoch=ev.epoch,
+            )
+        expected_resume = ev.vt + self.protocol.cost.barrier_cycles
+        if ev.resume != expected_resume:
+            raise VerifyError(
+                "epoch-consistency",
+                f"barrier resume clock is {ev.resume}, expected vt + "
+                f"barrier_cycles = {expected_resume}",
+                epoch=ev.epoch,
+            )
+        if ev.node_clocks and max(ev.node_clocks.values()) != ev.vt:
+            raise VerifyError(
+                "epoch-consistency",
+                f"barrier vt {ev.vt} is not the max waiter clock "
+                f"{max(ev.node_clocks.values())}",
+                epoch=ev.epoch,
+            )
+        expected_waiters = set(range(self.protocol.num_nodes)) - self._done
+        if set(ev.node_pcs) != expected_waiters:
+            missing = sorted(expected_waiters - set(ev.node_pcs))
+            raise VerifyError(
+                "epoch-consistency",
+                f"nodes {missing} did not participate in the barrier",
+                epoch=ev.epoch,
+                node=missing[0] if missing else None,
+            )
+        self._last_vt = ev.vt
+        self._epoch = ev.epoch + 1
+        self._scan_state(ev.epoch)
+        # Performance CICO: explicit check-outs should be balanced by a
+        # check-in before the barrier (Section 4.1's whole point — keeping
+        # the sharer counter low is what dodges the Dir1SW trap).
+        for node, marks in enumerate(self._cico):
+            for block, mark in marks.items():
+                if mark == _OUT:
+                    self._checks["cico-discipline"] += 1
+                    self._cico_finding(
+                        f"node {node} checked out block {block} but never "
+                        f"checked it in before the barrier",
+                        node=node, epoch=ev.epoch, block=block,
+                    )
+            marks.clear()
+
+    def _scan_state(self, epoch: int) -> None:
+        """Full directory/cache cross-check + cache-side SWMR scan."""
+        proto = self.protocol
+        self._checks["dir-cache-agreement"] += 1
+        try:
+            proto.invariant_check()
+        except ProtocolError as exc:
+            raise VerifyError(
+                "dir-cache-agreement", str(exc), epoch=epoch,
+                chain=self._chain(None),
+            ) from exc
+        self._checks["swmr"] += 1
+        holders: dict[int, list[tuple[int, LineState]]] = {}
+        for node, cache in enumerate(proto.caches):
+            for line in cache.lines():
+                holders.setdefault(line.block, []).append((node, line.state))
+        for block, held in holders.items():
+            if len(held) > 1 and any(
+                state is LineState.EXCLUSIVE for _, state in held
+            ):
+                nodes = sorted(node for node, _ in held)
+                raise VerifyError(
+                    "swmr",
+                    f"block held EXCLUSIVE while nodes {nodes} all have "
+                    f"copies",
+                    node=nodes[0], epoch=epoch, block=block,
+                    chain=self._chain(nodes[0]),
+                )
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self, result) -> VerifyReport:
+        """Conservation checks against the finished run's counters."""
+        self._finalized = True
+        self._checks["conservation"] += 1
+        c = self._counts
+        pairs = (
+            ("software traps", c["traps"], result.sw_traps),
+            ("recalls", c["recalls"], result.recalls),
+            ("network messages", c["messages"], result.total_messages),
+            ("barriers", c["barriers"], result.epochs),
+            ("node completions", c["node_done"], self.protocol.num_nodes),
+            ("cache hits", c["hits"], result.stats.hits),
+        )
+        for what, observed, counted in pairs:
+            if observed != counted:
+                raise VerifyError(
+                    "conservation",
+                    f"bus delivered {observed} {what} but the run counted "
+                    f"{counted} — an event was dropped or double-counted",
+                )
+        return self.report()
+
+    def report(self) -> VerifyReport:
+        return VerifyReport(
+            label=self.label,
+            ok=True,
+            checks=dict(self._checks),
+            events=dict(self._counts),
+            warnings=list(self.warnings),
+        )
+
+    def failure_report(self, exc: VerifyError) -> VerifyReport:
+        rep = self.report()
+        rep.ok = False
+        rep.error = str(exc)
+        return rep
+
+
+def verify_run(
+    program,
+    config,
+    params_fn=None,
+    *,
+    faults_seed: int | None = None,
+    strict_cico: bool = False,
+    label: str = "",
+) -> tuple[VerifyReport, "object"]:
+    """Run ``program`` with an attached checker; returns (report, RunResult).
+
+    A :class:`~repro.errors.VerifyError` propagates to the caller; the
+    convenience exists for the CLI and tests, the harness runner wires the
+    checker itself via ``run_program(..., verify=True)``.
+    """
+    from repro.harness.runner import run_program
+
+    result, _store = run_program(
+        program, config, params_fn,
+        faults_seed=faults_seed, verify=True, strict_verify=strict_cico,
+        verify_label=label,
+    )
+    return result.extra["verify_report"], result

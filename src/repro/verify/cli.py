@@ -1,0 +1,137 @@
+"""``repro-verify``: run workloads under the online invariant checker.
+
+For every selected (workload, variant) pair the tool builds the variant
+(tracing + annotating exactly as the Figure 6 harness does), executes it in
+timing mode with an :class:`~repro.verify.InvariantChecker` subscribed to
+the run's event bus, and prints one PASS/FAIL line.  ``--faults SEED``
+additionally injects the seeded fault tape, which a passing run proves the
+architectural results survived.
+
+Exit status: 0 when every run verified clean, 2 on the first violation
+(the :class:`~repro.errors.VerifyError` diagnostic names the invariant,
+node, epoch, block and recent event chain) or on bad arguments.
+
+Example::
+
+    repro-verify --workload mp3d --workload ocean --faults 7 \\
+        --report-out verify-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cliutil import run_cli
+from repro.errors import VerifyError
+from repro.harness.runner import run_program
+from repro.harness.variants import build_variants
+from repro.workloads.base import get_workload
+
+#: the Figure 6 benchmarks, the tool's default coverage
+DEFAULT_WORKLOADS = ("barnes", "ocean", "mp3d", "matmul", "tomcatv")
+DEFAULT_VARIANTS = ("plain", "cachier")
+
+
+def _write_report(path: str, reports: list[dict]) -> None:
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump({"runs": reports}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Run workloads under the online coherence invariant "
+                    "checker (SWMR, directory/cache agreement, CICO "
+                    "discipline, epoch consistency, event conservation).",
+    )
+    parser.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help=f"workload(s) to check (default: {' '.join(DEFAULT_WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--variant", action="append", metavar="NAME",
+        help="variant(s) per workload: plain, hand, hand+pf, cachier, "
+             f"cachier+pf (default: {' '.join(DEFAULT_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--policy", default="performance",
+        choices=["performance", "programmer"],
+        help="CICO flavour for the cachier variants",
+    )
+    parser.add_argument(
+        "--faults", type=int, metavar="SEED", default=None,
+        help="inject the seeded fault tape (repro.faults) into every run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat CICO discipline findings as failures, not warnings",
+    )
+    parser.add_argument(
+        "--report-out", metavar="FILE",
+        help="write every run's VerifyReport as JSON to FILE",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the report JSON to stdout instead of PASS/FAIL lines",
+    )
+    args = parser.parse_args(argv)
+    from repro.cachier.annotator import Policy
+
+    policy = Policy(args.policy)
+    workloads = tuple(args.workload) if args.workload else DEFAULT_WORKLOADS
+    variants = tuple(args.variant) if args.variant else DEFAULT_VARIANTS
+
+    reports: list[dict] = []
+    failures = 0
+    for name in workloads:
+        spec = get_workload(name)
+        vset = build_variants(spec, policy=policy)
+        for variant in variants:
+            program = vset.programs.get(variant)
+            if program is None:
+                continue  # workload has no such variant (e.g. no hand version)
+            label = f"{name}/{variant}"
+            try:
+                result, _ = run_program(
+                    program, spec.config, spec.params_fn,
+                    faults_seed=args.faults, verify=True,
+                    strict_verify=args.strict, verify_label=label,
+                )
+            except VerifyError as exc:
+                failures += 1
+                report = getattr(exc, "report", None)
+                reports.append(
+                    report.as_dict() if report is not None
+                    else {"label": label, "ok": False, "error": str(exc)}
+                )
+                if args.report_out:
+                    _write_report(args.report_out, reports)
+                if not args.json:
+                    print(f"FAIL  {label}")
+                raise
+            report = result.extra["verify_report"]
+            reports.append(report.as_dict())
+            if not args.json:
+                checks = sum(report.checks.values())
+                note = f"{checks} checks"
+                if report.warnings:
+                    note += f", {len(report.warnings)} cico warnings"
+                if args.faults is not None:
+                    note += f", faults seed={args.faults}"
+                print(f"PASS  {label:24s} {note}")
+
+    if args.report_out:
+        _write_report(args.report_out, reports)
+    if args.json:
+        print(json.dumps({"runs": reports}, indent=2, sort_keys=True))
+    return 0 if failures == 0 else 2
+
+
+def main(argv=None) -> int:
+    return run_cli(_main, argv, prog="repro-verify")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

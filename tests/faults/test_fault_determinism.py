@@ -1,0 +1,141 @@
+"""Seeded fault injection is deterministic and architecturally invisible.
+
+The barrier-deferred stall model promises two properties, both pinned here:
+
+* the same seed yields the same run, byte for byte (manifest digests);
+* *any* seed yields the same architectural results as the fault-free run —
+  cache and directory end state, per-node miss statistics, final shared
+  data values and per-epoch miss sets — with only the timing-domain outputs
+  (cycles, traffic, barrier virtual times) allowed to move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector, make_injector
+from repro.lang.interp import Interpreter, SharedStore
+from repro.machine.machine import Machine
+from repro.obs.export import write_manifest
+from repro.obs.session import Observer
+from repro.workloads.base import get_workload
+
+FIG6 = ("barnes", "ocean", "mp3d", "matmul", "tomcatv")
+
+
+def _run(name: str, faults=None):
+    spec = get_workload(name)
+    store = SharedStore(spec.program, block_size=spec.config.block_size)
+    interp = Interpreter(spec.program, store, params_fn=spec.params_fn)
+    machine = Machine(spec.config, faults=faults)
+    result = machine.run(interp.kernel)
+    return machine, result, store
+
+
+def _arch(machine, result, store):
+    """Everything fault injection must NOT change."""
+    proto = machine.protocol
+    return {
+        "caches": [cache.snapshot_lines() for cache in proto.caches],
+        "directory": proto.snapshot_state()["directory"],
+        "stats": [stats.as_dict() for stats in result.per_node],
+        "totals": result.stats.as_dict(),
+        "sw_traps": result.sw_traps,
+        "recalls": result.recalls,
+        "epochs": result.epochs,
+        "store": store.snapshot_values(),
+    }
+
+
+@pytest.mark.parametrize("name", FIG6)
+def test_faults_leave_architectural_results_invariant(name):
+    base = _arch(*_run(name))
+    injected = _arch(*_run(name, faults=make_injector(1789)))
+    assert injected == base
+
+
+def test_same_seed_is_fully_deterministic():
+    m1, r1, s1 = _run("mp3d", faults=make_injector(7))
+    m2, r2, s2 = _run("mp3d", faults=make_injector(7))
+    assert r1.cycles == r2.cycles
+    assert r1.traffic == r2.traffic
+    assert r1.extra["barrier_vts"] == r2.extra["barrier_vts"]
+    assert m1.faults.stats.as_dict() == m2.faults.stats.as_dict()
+    assert _arch(m1, r1, s1) == _arch(m2, r2, s2)
+
+
+def test_different_seeds_change_timing_not_results():
+    m1, r1, s1 = _run("mp3d", faults=make_injector(7))
+    m2, r2, s2 = _run("mp3d", faults=make_injector(1789))
+    assert _arch(m1, r1, s1) == _arch(m2, r2, s2)
+    # the tapes genuinely differ (cycles moved, faults were dealt)
+    assert r1.cycles != r2.cycles
+    for machine in (m1, m2):
+        stats = machine.faults.stats
+        assert stats.stall_cycles > 0
+        assert stats.delayed + stats.duplicated + stats.nacks > 0
+
+
+def test_per_epoch_miss_sets_invariant_under_faults():
+    """trace mode: the fault-injected trace records the same misses and
+    barrier structure as the fault-free one — only the barrier *virtual
+    times* (timing domain) move — so annotations derived from it are
+    identical too."""
+    from repro.harness.runner import trace_program
+
+    spec = get_workload("mp3d")
+    clean = trace_program(spec.program, spec.config, spec.params_fn)
+    faulty = trace_program(
+        spec.program, spec.config, spec.params_fn, faults_seed=42
+    )
+    assert faulty.misses == clean.misses
+    assert [
+        (b.node, b.barrier_pc, b.epoch) for b in faulty.barriers
+    ] == [(b.node, b.barrier_pc, b.epoch) for b in clean.barriers]
+    # the fault stalls really landed: barrier vts moved
+    assert [b.vt for b in faulty.barriers] != [b.vt for b in clean.barriers]
+
+
+def test_same_seed_manifest_bytes_identical(tmp_path):
+    digests = []
+    for i in range(2):
+        spec = get_workload("mp3d")
+        obs = Observer(profile=True, critpath=True, meta={"name": "mp3d/plain"})
+        from repro.harness.runner import run_program
+
+        run_program(
+            spec.program, spec.config, spec.params_fn,
+            observer=obs, faults_seed=42,
+        )
+        path = tmp_path / f"run{i}.manifest.jsonl"
+        write_manifest(obs.observation, path)
+        digests.append(hashlib.sha256(path.read_bytes()).hexdigest())
+    assert digests[0] == digests[1]
+
+
+def test_straggler_node_slows_run_without_changing_results():
+    base_m, base_r, base_s = _run("mp3d")
+    cfg = FaultConfig(
+        seed=1, delay_prob=0.0, reorder_prob=0.0, dup_prob=0.0,
+        nack_prob=0.0, straggler_node=0, straggler_cycles=5000,
+    )
+    m, r, s = _run("mp3d", faults=FaultInjector(cfg))
+    assert _arch(m, r, s) == _arch(base_m, base_r, base_s)
+    assert m.faults.stats.straggler_epochs == r.epochs
+    assert r.cycles > base_r.cycles
+
+
+def test_make_injector_none_seed_disables_faults():
+    assert make_injector(None) is None
+    assert make_injector(0) is not None
+
+
+def test_fault_config_validates_probabilities():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        FaultConfig(seed=1, delay_prob=1.5)
+    with pytest.raises(ReproError):
+        FaultConfig(seed=1, max_retries=-1)

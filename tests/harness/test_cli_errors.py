@@ -1,0 +1,110 @@
+"""Every console script fails loud and clean on tool-level errors.
+
+A :class:`ReproError` must become a nonzero exit (status 2) with a one-line
+``<prog>: error: ...`` diagnostic on stderr — never a Python traceback.
+Programming errors are not swallowed: they still traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cliutil import EXIT_ERROR, run_cli
+from repro.errors import TraceError
+
+
+def test_run_cli_formats_repro_error_one_line(capsys):
+    def boom(argv):
+        raise TraceError("first line of the diagnostic\nsecond line")
+
+    assert run_cli(boom, [], prog="tool") == EXIT_ERROR
+    captured = capsys.readouterr()
+    assert captured.err == "tool: error: first line of the diagnostic\n"
+    assert captured.out == ""
+
+
+def test_run_cli_passes_through_success():
+    assert run_cli(lambda argv: 0, []) == 0
+    assert run_cli(lambda argv: 3, []) == 3
+
+
+def test_run_cli_does_not_hide_bugs():
+    def bug(argv):
+        raise ValueError("a programming error")
+
+    with pytest.raises(ValueError):
+        run_cli(bug, [])
+
+
+def test_annotate_cli_missing_trace_file(tmp_path, capsys):
+    from repro.cachier.cli import main
+
+    rc = main(["--trace", str(tmp_path / "nope.trace")])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("cachier-annotate: error: ")
+    assert err.count("\n") == 1
+
+
+def test_annotate_cli_salvages_truncated_trace(tmp_path, capsys):
+    from repro.cachier.cli import main
+
+    path = tmp_path / "full.trace"
+    rc = main(["--workload", "mp3d", "--save-trace", str(path)])
+    assert rc == 0
+    capsys.readouterr()
+
+    text = path.read_text(encoding="ascii")
+    cut = tmp_path / "cut.trace"
+    cut.write_text(text[: int(len(text) * 0.8)], encoding="ascii")
+    rc = main(["--workload", "mp3d", "--trace", str(cut)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"// WARNING: {cut}:" in out
+    assert "damaged" in out
+    assert "// annotations:" in out  # annotation still completed
+
+
+def test_verify_cli_unknown_workload(capsys):
+    from repro.verify.cli import main
+
+    rc = main(["--workload", "no-such-workload"])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("repro-verify: error: unknown workload")
+    assert err.count("\n") == 1
+
+
+def test_verify_cli_passes_clean_workload(tmp_path, capsys):
+    import json
+
+    from repro.verify.cli import main
+
+    report = tmp_path / "report.json"
+    rc = main([
+        "--workload", "mp3d", "--variant", "plain",
+        "--report-out", str(report),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PASS  mp3d/plain" in out
+    payload = json.loads(report.read_text(encoding="ascii"))
+    assert payload["runs"][0]["ok"] is True
+
+
+def test_obs_cli_unknown_workload(capsys):
+    from repro.obs.cli import main
+
+    rc = main(["run", "--workload", "no-such-workload"])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("repro-obs: error: unknown workload")
+
+
+def test_figure6_cli_resume_requires_checkpoint_dir(capsys):
+    from repro.harness.figure6 import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--resume"])
+    assert excinfo.value.code == 2
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err

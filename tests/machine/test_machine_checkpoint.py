@@ -1,0 +1,162 @@
+"""Barrier-aligned checkpoint / resume of the simulated machine.
+
+A run resumed from any barrier snapshot must finish with *exactly* the
+result of the uninterrupted run — cycles, per-node statistics, traffic,
+barrier virtual times — for both fault-free and fault-injected runs.
+Incompatible or divergent snapshots must be refused loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.faults import make_injector
+from repro.harness.runner import run_program
+from repro.machine.config import MachineConfig
+from repro.machine.events import EV_BARRIER, EV_LOCK, EV_REF, EV_UNLOCK
+from repro.machine.machine import SNAPSHOT_VERSION, Machine
+from repro.workloads.base import get_workload
+
+BLOCK = 32
+NODES = 4
+EPOCHS = 4
+
+
+def _config(**kw):
+    return MachineConfig(
+        num_nodes=NODES, cache_size=1024, block_size=BLOCK, assoc=2, **kw
+    )
+
+
+def _kernel(nid):
+    """A little SPMD program with real cross-node sharing per epoch."""
+    for e in range(EPOCHS):
+        for i in range(6):
+            addr = ((nid + i + e) % (NODES * 2)) * BLOCK
+            yield (EV_REF, 1, addr, (i % 2) == 0, 100 * e + i)
+        yield (EV_BARRIER, 0, 100 * e + 99)
+
+
+def _fingerprint(result):
+    return {
+        "cycles": result.cycles,
+        "epochs": result.epochs,
+        "stats": result.stats.as_dict(),
+        "per_node": [s.as_dict() for s in result.per_node],
+        "traffic": dict(result.traffic),
+        "sw_traps": result.sw_traps,
+        "recalls": result.recalls,
+        "barrier_vts": result.extra["barrier_vts"],
+    }
+
+
+def _full_run(faults=None):
+    snaps = []
+    machine = Machine(_config(), faults=faults)
+    result = machine.run(_kernel, checkpoint=snaps.append)
+    return result, snaps
+
+
+def test_snapshots_are_jsonable_and_versioned():
+    _, snaps = _full_run()
+    assert len(snaps) == EPOCHS
+    for epoch, snap in enumerate(snaps, start=1):
+        assert snap["version"] == SNAPSHOT_VERSION
+        assert snap["epoch"] == epoch
+        json.dumps(snap)  # must not raise
+
+
+@pytest.mark.parametrize("seed", [None, 11])
+def test_resume_from_every_barrier_matches_uninterrupted(seed):
+    base, snaps = _full_run(faults=make_injector(seed))
+    for snap in snaps:
+        machine = Machine(_config(), faults=make_injector(seed))
+        # round-trip through JSON, the way the Checkpointer stores it
+        resumed = machine.run(
+            _kernel, resume_from=json.loads(json.dumps(snap))
+        )
+        assert _fingerprint(resumed) == _fingerprint(base)
+
+
+def test_resume_refuses_divergent_kernel():
+    _, snaps = _full_run()
+
+    def other_kernel(nid):  # same shape, different barrier pcs
+        for e in range(EPOCHS):
+            for i in range(6):
+                yield (EV_REF, 1, (nid % 2) * BLOCK, False, i)
+            yield (EV_BARRIER, 0, 9999)
+
+    machine = Machine(_config())
+    with pytest.raises(CheckpointError, match="divergence"):
+        machine.run(other_kernel, resume_from=snaps[1])
+
+
+def test_resume_refuses_incompatible_snapshots():
+    _, snaps = _full_run()
+    snap = snaps[0]
+
+    bad_version = dict(snap, version=SNAPSHOT_VERSION + 1)
+    with pytest.raises(CheckpointError, match="version"):
+        Machine(_config()).run(_kernel, resume_from=bad_version)
+
+    with pytest.raises(CheckpointError, match="nodes"):
+        Machine(
+            MachineConfig(num_nodes=2, cache_size=1024, block_size=BLOCK, assoc=2)
+        ).run(_kernel, resume_from=snap)
+
+    with pytest.raises(CheckpointError, match="flush_at_barrier"):
+        Machine(_config(), flush_at_barrier=True).run(_kernel, resume_from=snap)
+
+    # a fault-free snapshot cannot resume a fault-injected machine
+    with pytest.raises(CheckpointError, match="faults"):
+        Machine(_config(), faults=make_injector(3)).run(
+            _kernel, resume_from=snap
+        )
+
+
+def test_snapshot_refuses_held_locks():
+    def locky(nid):
+        if nid == 0:
+            yield (EV_LOCK, 0, 64, 1)
+            yield (EV_BARRIER, 0, 2)  # barrier crossed with the lock held
+            yield (EV_UNLOCK, 0, 64, 3)
+            yield (EV_BARRIER, 0, 4)
+        else:
+            yield (EV_BARRIER, 0, 11)
+            yield (EV_BARRIER, 0, 12)
+
+    machine = Machine(_config())
+    with pytest.raises(CheckpointError, match="locks"):
+        machine.run(locky, checkpoint=lambda snap: None)
+
+
+def test_snapshot_outside_run_refused():
+    with pytest.raises(CheckpointError, match="run"):
+        Machine(_config()).snapshot()
+
+
+@pytest.mark.parametrize("seed", [None, 42])
+def test_runner_checkpoint_resume_roundtrip(tmp_path, seed):
+    """run_program --checkpoint-dir / --resume: the resumed run reproduces
+    the uninterrupted result, including the shared-store values."""
+    spec = get_workload("mp3d")
+    base, base_store = run_program(
+        spec.program, spec.config, spec.params_fn, faults_seed=seed
+    )
+    ckdir = str(tmp_path)
+    mid, _ = run_program(
+        spec.program, spec.config, spec.params_fn, faults_seed=seed,
+        checkpoint_dir=ckdir, checkpoint_name="mp3d",
+    )
+    assert _fingerprint(mid) == _fingerprint(base)
+    assert (tmp_path / "mp3d.run.ckpt.json").exists()
+    resumed, resumed_store = run_program(
+        spec.program, spec.config, spec.params_fn, faults_seed=seed,
+        checkpoint_dir=ckdir, checkpoint_name="mp3d", resume=True,
+    )
+    assert _fingerprint(resumed) == _fingerprint(base)
+    assert resumed_store.snapshot_values() == base_store.snapshot_values()

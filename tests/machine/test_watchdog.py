@@ -1,0 +1,68 @@
+"""The max-cycles execution watchdog.
+
+A livelocked kernel must terminate the run with a :class:`WatchdogError`
+naming the stuck node and its last program counter, instead of spinning
+forever; ``max_cycles=None`` disables the guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CachierError, MachineError, WatchdogError
+from repro.machine.config import MachineConfig
+from repro.machine.events import EV_REF
+from repro.machine.machine import Machine
+
+
+def _config(**kw):
+    return MachineConfig(
+        num_nodes=2, cache_size=1024, block_size=32, assoc=2, **kw
+    )
+
+
+def _spinner(nid):
+    pc = 7000 + nid
+    while True:
+        yield (EV_REF, 10, -1, False, pc)  # pure compute, never terminates
+
+
+def test_watchdog_names_stuck_node_and_pc():
+    machine = Machine(_config(max_cycles=50_000))
+    with pytest.raises(WatchdogError) as excinfo:
+        machine.run(_spinner)
+    exc = excinfo.value
+    assert exc.node in (0, 1)
+    assert exc.pc == 7000 + exc.node
+    assert f"node {exc.node}" in str(exc)
+    assert "50000" in str(exc)
+    # the CLI wrapper turns it into a one-line diagnostic: it must be in
+    # the CachierError family
+    assert isinstance(exc, CachierError)
+
+
+def test_watchdog_disabled_with_none():
+    def long_kernel(nid):
+        yield (EV_REF, 10**9, -1, False, 1)  # way past any finite budget
+        yield (EV_REF, 10**9, -1, False, 2)
+
+    machine = Machine(_config(max_cycles=None))
+    result = machine.run(long_kernel)
+    assert result.cycles >= 2 * 10**9
+
+
+def test_watchdog_spares_runs_within_budget():
+    def short_kernel(nid):
+        for pc in range(5):
+            yield (EV_REF, 1, -1, False, pc)
+
+    machine = Machine(_config(max_cycles=1_000))
+    result = machine.run(short_kernel)
+    assert result.cycles <= 1_000
+
+
+def test_max_cycles_must_be_positive():
+    with pytest.raises(MachineError):
+        _config(max_cycles=0)
+    with pytest.raises(MachineError):
+        _config(max_cycles=-5)
