@@ -119,6 +119,14 @@ class CheckpointError(CachierError):
     snapshot, replay divergence, incompatible configuration)."""
 
 
+class PoolError(CachierError):
+    """The parallel sweep executor (:mod:`repro.harness.pool`) failed at the
+    sweep level: bad ``--jobs``/``REPRO_JOBS``, duplicate task keys, or one
+    or more runs that still failed after their retry (worker crash, watchdog
+    kill, retry exhausted).  CLIs print the per-run error table first, then
+    this one-line summary via ``run_cli`` (exit status 2)."""
+
+
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 

@@ -10,7 +10,12 @@ Two small pieces:
   already finished and their headline numbers, so a restarted
   ``cachier-figure6 --resume`` skips straight past completed work and still
   prints the same table (and leaves the same per-variant artefacts on disk)
-  as an uninterrupted sweep.
+  as an uninterrupted sweep.  Under the parallel executor
+  (:mod:`repro.harness.pool`) the ledger doubles as the sweep's work queue:
+  completed runs are never resubmitted, finishing runs are marked
+  incrementally in deterministic submission order (only the parent process
+  writes the ledger), and :meth:`SweepState.check_plan` refuses to resume
+  against a ledger that belongs to a differently-shaped sweep.
 
 Both tolerate missing files (first run) and refuse corrupt ones with a
 :class:`~repro.errors.CheckpointError` naming the path, rather than
@@ -84,6 +89,20 @@ class SweepState:
         if payload is not None:
             self.completed = {str(k): int(v) for k, v in payload.items()}
         return self
+
+    def check_plan(self, planned_keys) -> None:
+        """Refuse to resume when the ledger records runs this sweep does
+        not plan (the flags changed between invocations) — a "ledger
+        conflict".  Resuming anyway would silently drop those runs' cycles
+        from the table while leaving their artefacts on disk."""
+        unknown = sorted(set(self.completed) - set(planned_keys))
+        if unknown:
+            raise CheckpointError(
+                f"sweep ledger conflict: {self.path} records run(s) not in "
+                f"this sweep ({', '.join(unknown)}); the sweep flags "
+                "changed between invocations — rerun with the original "
+                "flags or use a fresh --checkpoint-dir"
+            )
 
     def mark(self, key: str, cycles: int) -> None:
         self.completed[key] = int(cycles)

@@ -13,6 +13,15 @@ Matrix Multiply and Ocean).  The qualitative claims this module regenerates:
   pointer-based Barnes;
 * Tomcatv barely moves — it computes rather than communicates.
 
+The sweep is a set of independent (benchmark, variant) runs, and it is
+executed through :class:`~repro.harness.pool.SweepPool`: ``--jobs N`` (or
+``REPRO_JOBS``) fans the runs out across worker processes with a
+byte-identical determinism contract — the table, the per-run obs artefacts
+and the sweep ledger are the same bytes at any job count.  ``--jobs 1``
+(the default) runs everything inline in this process.  A run that fails
+(watchdog, verify violation, worker crash) is retried once and then
+reported in a structured error table; the sweep itself completes.
+
 Run ``python -m repro.harness.figure6`` (or the ``cachier-figure6`` console
 script) to print the table.
 """
@@ -20,9 +29,9 @@ script) to print the table.
 from __future__ import annotations
 
 import argparse
-import os
 from dataclasses import dataclass, field
 
+from repro.harness.pool import RunTask, SweepPool, render_errors, summarize_failures
 from repro.harness.reporting import render_table
 from repro.harness.variants import (
     CACHIER,
@@ -32,6 +41,7 @@ from repro.harness.variants import (
     PLAIN,
     VariantSet,
     build_variants,
+    planned_variants,
 )
 from repro.workloads.base import get_workload
 
@@ -61,29 +71,24 @@ class Fig6Row:
         return self.cycles[variant] / self.cycles[PLAIN]
 
 
-def _obs_factory(name: str, obs_dir: str):
-    """Per-variant Observer factory that writes a Chrome trace and a JSONL
-    manifest under ``obs_dir`` once the variant's run finalizes."""
-    from repro.obs.export import write_chrome_trace, write_manifest
-    from repro.obs.session import Observer
+@dataclass
+class Fig6Sweep:
+    """A completed sweep: one row per benchmark plus the runs that failed
+    (empty on a clean sweep — the usual case)."""
 
-    os.makedirs(obs_dir, exist_ok=True)
+    rows: list[Fig6Row]
+    errors: list = field(default_factory=list)  # failed RunOutcomes
+
+
+def _obs_factory(name: str, obs_dir: str):
+    """Per-variant Observer factory writing Chrome trace + JSONL manifest
+    under ``obs_dir`` (kept for API compatibility; the export path itself
+    lives in :func:`repro.obs.export.exporting_observer` so pool workers
+    share it)."""
+    from repro.obs.export import exporting_observer
 
     def factory(variant: str):
-        class _ExportingObserver(Observer):
-            def finalize(self, result):
-                obs = super().finalize(result)
-                stem = os.path.join(obs_dir, f"{name}-{variant}".replace("+", "_"))
-                write_chrome_trace(obs, stem + ".trace.json")
-                write_manifest(obs, stem + ".manifest.jsonl")
-                return obs
-
-        return _ExportingObserver(
-            profile=True,
-            critpath=True,
-            meta={"name": f"{name}/{variant}",
-                  "benchmark": name, "variant": variant},
-        )
+        return exporting_observer(name, variant, obs_dir)
 
     return factory
 
@@ -98,12 +103,14 @@ def run_benchmark(
     sweep=None,
     **kwargs,
 ) -> Fig6Row:
-    """One benchmark's row.  ``sweep`` (a
-    :class:`~repro.harness.checkpoint.SweepState`) makes the sweep
-    restartable: variants it records as completed are not re-run — their
-    cycles come from the ledger and their artefacts are already on disk —
-    so a resumed sweep produces the same table and the same per-variant
-    trace/manifest files as an uninterrupted one."""
+    """One benchmark's row, run inline (the single-workload debugging
+    entry point; the sweep proper goes through :func:`sweep_figure6`).
+
+    ``sweep`` (a :class:`~repro.harness.checkpoint.SweepState`) makes the
+    run restartable: variants it records as completed are not re-run —
+    their cycles come from the ledger and their artefacts are already on
+    disk — so a resumed sweep produces the same table and the same
+    per-variant trace/manifest files as an uninterrupted one."""
     from repro.cachier.annotator import Policy
 
     spec = get_workload(name, **kwargs)
@@ -131,12 +138,51 @@ def run_benchmark(
     return row
 
 
-def run_figure6(
+def plan_tasks(
+    benchmarks, include_prefetch: bool = True, policy=None,
+    obs_dir: str | None = None, faults_seed: int | None = None,
+    verify: bool = False,
+) -> list[RunTask]:
+    """The sweep's work-list: one pool task per (benchmark, variant), in
+    table order.  Enumerating variants needs only the workload spec, not
+    the (expensive) trace + annotation — workers pay that, memoised."""
+    from repro.cachier.annotator import Policy
+
+    policy = policy or Policy.PERFORMANCE
+    tasks = []
+    for name in benchmarks:
+        spec = get_workload(name)
+        for variant in planned_variants(spec, include_prefetch):
+            tasks.append(RunTask.make(
+                "figure6", f"{name}/{variant}",
+                workload=name, variant=variant, policy=policy.value,
+                include_prefetch=include_prefetch, obs_dir=obs_dir,
+                faults_seed=faults_seed, verify=verify,
+            ))
+    return tasks
+
+
+def sweep_figure6(
     benchmarks=FIG6_BENCHMARKS, include_prefetch: bool = True, policy=None,
     obs_dir: str | None = None, faults_seed: int | None = None,
     verify: bool = False, checkpoint_dir: str | None = None,
-    resume: bool = False,
-) -> list[Fig6Row]:
+    resume: bool = False, jobs: int | None = None,
+) -> Fig6Sweep:
+    """Run the Figure-6 sweep through the process pool.
+
+    With ``checkpoint_dir`` the ``figure6.sweep.json`` ledger is the work
+    queue: completed runs are not resubmitted (their cycles come from the
+    ledger), each finishing run is marked incrementally in deterministic
+    (submission) order, and a killed sweep — serial or parallel — resumes
+    only the missing runs.  Resuming against a ledger whose runs are not a
+    subset of this sweep's plan (flags changed between invocations) is a
+    :class:`~repro.errors.CheckpointError` ("ledger conflict") rather than
+    a silently wrong table.
+    """
+    tasks = plan_tasks(
+        benchmarks, include_prefetch, policy=policy, obs_dir=obs_dir,
+        faults_seed=faults_seed, verify=verify,
+    )
     sweep = None
     if checkpoint_dir is not None:
         from repro.harness.checkpoint import SweepState
@@ -144,12 +190,51 @@ def run_figure6(
         sweep = SweepState(checkpoint_dir)
         if resume:
             sweep.load()
+            sweep.check_plan(task.key for task in tasks)
         else:
             sweep.clear()
-    return [run_benchmark(name, include_prefetch, policy=policy,
-                          obs_dir=obs_dir, faults_seed=faults_seed,
-                          verify=verify, sweep=sweep)
-            for name in benchmarks]
+
+    rows = {name: Fig6Row(benchmark=name) for name in benchmarks}
+    if sweep is not None:
+        for key, cycles in sweep.completed.items():
+            name, variant = key.split("/", 1)
+            rows[name].cycles[variant] = cycles
+    todo = [
+        task for task in tasks
+        if sweep is None or task.key not in sweep.completed
+    ]
+
+    def on_result(outcome):
+        if not outcome.ok:
+            return
+        name, variant = outcome.task.key.split("/", 1)
+        rows[name].cycles[variant] = outcome.value["cycles"]
+        if sweep is not None:
+            sweep.mark(outcome.task.key, outcome.value["cycles"])
+
+    outcomes = SweepPool(jobs=jobs).run(todo, on_result)
+    errors = [out for out in outcomes if not out.ok]
+    return Fig6Sweep(rows=[rows[name] for name in benchmarks], errors=errors)
+
+
+def run_figure6(
+    benchmarks=FIG6_BENCHMARKS, include_prefetch: bool = True, policy=None,
+    obs_dir: str | None = None, faults_seed: int | None = None,
+    verify: bool = False, checkpoint_dir: str | None = None,
+    resume: bool = False, jobs: int | None = None,
+) -> list[Fig6Row]:
+    """Library entry point: the sweep's rows, raising
+    :class:`~repro.errors.PoolError` if any run failed."""
+    sweep = sweep_figure6(
+        benchmarks, include_prefetch, policy=policy, obs_dir=obs_dir,
+        faults_seed=faults_seed, verify=verify,
+        checkpoint_dir=checkpoint_dir, resume=resume, jobs=jobs,
+    )
+    if sweep.errors:
+        raise summarize_failures(sweep.errors, total=len(sweep.errors) + sum(
+            len(row.cycles) for row in sweep.rows
+        ))
+    return sweep.rows
 
 
 def render_figure6(rows: list[Fig6Row]) -> str:
@@ -160,7 +245,7 @@ def render_figure6(rows: list[Fig6Row]) -> str:
     headers.append("paper(cachier)")
     table = []
     for row in rows:
-        cells: list[object] = [row.benchmark, 1.0]
+        cells: list[object] = [row.benchmark, 1.0 if PLAIN in row.cycles else "-"]
         for variant in headers[2 : len(headers) - 1]:
             norm = row.normalized(variant)
             cells.append("-" if norm is None else norm)
@@ -189,6 +274,12 @@ def _main(argv=None) -> int:
         "--policy", default="performance",
         choices=["performance", "programmer"],
         help="which CICO flavour Cachier emits (the paper ran performance)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run the sweep's (benchmark, variant) runs across N worker "
+             "processes (0 = one per CPU; default $REPRO_JOBS or 1 = "
+             "inline).  Output is byte-identical at any N.",
     )
     parser.add_argument(
         "--obs-dir", metavar="DIR",
@@ -222,7 +313,7 @@ def _main(argv=None) -> int:
     from repro.cachier.annotator import Policy
 
     names = tuple(args.benchmark) if args.benchmark else FIG6_BENCHMARKS
-    rows = run_figure6(
+    sweep = sweep_figure6(
         names,
         include_prefetch=not args.no_prefetch,
         policy=Policy(args.policy),
@@ -231,10 +322,15 @@ def _main(argv=None) -> int:
         verify=args.verify,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        jobs=args.jobs,
     )
-    print(render_figure6(rows))
+    print(render_figure6(sweep.rows))
     if args.obs_dir:
         print(f"// observability artefacts written to {args.obs_dir}/")
+    if sweep.errors:
+        print(render_errors(sweep.errors))
+        total = len(sweep.errors) + sum(len(r.cycles) for r in sweep.rows)
+        raise summarize_failures(sweep.errors, total=total)
     return 0
 
 

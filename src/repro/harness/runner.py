@@ -26,6 +26,11 @@ Robustness hooks (all optional, all off by default):
 * ``checkpoint_dir`` / ``resume`` — persist a barrier-aligned snapshot
   (machine state + shared-store values) after every barrier and, on
   ``resume=True``, fast-forward a fresh run from the last complete one.
+
+Sweeps (figure6, bench, verify) do not call :func:`run_program` in a loop
+any more: they submit :func:`run_workload_variant` units through the
+process pool (:mod:`repro.harness.pool`), which executes them across
+workers — or inline at ``--jobs 1`` — with byte-identical results.
 """
 
 from __future__ import annotations
@@ -198,6 +203,37 @@ def run_program(
     if observer is not None:
         observer.finalize(result)
     return result, store
+
+
+def run_workload_variant(
+    workload: str,
+    variant: str,
+    policy: str = "performance",
+    include_prefetch: bool = True,
+    obs_dir: str | None = None,
+    faults_seed: int | None = None,
+    verify: bool = False,
+) -> RunResult:
+    """Build (memoised per process) and execute one named workload variant.
+
+    This is the unit of work the sweep pool fans out: everything is named
+    by plain picklable values, the variant set comes from the per-process
+    memo (:func:`repro.harness.pool.cached_variants`), and with ``obs_dir``
+    the run's Chrome trace + JSONL manifest are written to their final
+    per-run paths by whichever process executes it — the bytes are the
+    same either way, because the simulation is seeded and pure.
+    """
+    from repro.harness.pool import cached_variants
+
+    observer = None
+    if obs_dir:
+        from repro.obs.export import exporting_observer
+
+        observer = exporting_observer(workload, variant, obs_dir)
+    variants = cached_variants(workload, policy, include_prefetch)
+    return variants.run(
+        variant, observer, faults_seed=faults_seed, verify=verify
+    )
 
 
 def annotate_workload(

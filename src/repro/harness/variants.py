@@ -65,6 +65,28 @@ class VariantSet:
         }
 
 
+def planned_variants(
+    spec: WorkloadSpec, include_prefetch: bool = True
+) -> tuple[str, ...]:
+    """The variant names :func:`build_variants` will produce for ``spec``,
+    in its insertion order, *without* paying for the trace + annotation.
+
+    The sweep planner uses this to enumerate (workload, variant) tasks up
+    front — the pool needs the full work-list before any build runs, and a
+    resumed sweep needs it to cross-check the ledger.  Kept in lockstep
+    with :func:`build_variants` (a test pins the equivalence).
+    """
+    names = [PLAIN]
+    if spec.hand_program is not None:
+        names.append(HAND)
+    if spec.hand_prefetch_program is not None and include_prefetch:
+        names.append(HAND_PREFETCH)
+    names.append(CACHIER)
+    if include_prefetch:
+        names.append(CACHIER_PREFETCH)
+    return tuple(names)
+
+
 def build_variants(
     spec: WorkloadSpec,
     policy: Policy = Policy.PERFORMANCE,

@@ -247,22 +247,36 @@ def _cmd_critpath(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.obs.baseline import (
-        QUICK_WORKLOADS,
-        bench_workload,
-        write_bench,
+    from repro.harness.pool import (
+        RunTask,
+        SweepPool,
+        render_errors,
+        summarize_failures,
     )
+    from repro.obs.baseline import QUICK_WORKLOADS
 
     workloads = args.workload or list(QUICK_WORKLOADS)
-    variants = args.variant or None
-    for name in workloads:
-        kwargs = {"trace_dir": args.trace_dir} if args.trace_dir else {}
-        if variants:
-            kwargs["variants"] = tuple(variants)
-        bench = bench_workload(name, **kwargs)
-        path = write_bench(bench, args.out_dir)
-        cyc = {v: rec["cycles"] for v, rec in bench["variants"].items()}
-        print(f"benched {name}: {cyc} -> {path}")
+    variants = tuple(args.variant) if args.variant else None
+    tasks = [
+        RunTask.make(
+            "bench", name,
+            workload=name, out_dir=args.out_dir,
+            variants=variants, trace_dir=args.trace_dir,
+        )
+        for name in workloads
+    ]
+
+    def on_result(outcome):
+        if outcome.ok:
+            value = outcome.value
+            print(f"benched {outcome.task.key}: {value['cycles']} "
+                  f"-> {value['path']}")
+
+    outcomes = SweepPool(jobs=args.jobs).run(tasks, on_result)
+    errors = [out for out in outcomes if not out.ok]
+    if errors:
+        print(render_errors(errors))
+        raise summarize_failures(errors, total=len(tasks))
     return 0
 
 
@@ -407,6 +421,11 @@ def _main(argv=None) -> int:
         "--variant", action="append", metavar="NAME",
         help="variant to bench (repeatable; default: plain + cachier)",
     )
+    bench_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="bench workloads across N worker processes "
+                              "(0 = one per CPU; default $REPRO_JOBS or 1 "
+                              "= in-process); BENCH files are "
+                              "byte-identical at any N")
     bench_p.add_argument("--out-dir", default="bench-out",
                          help="directory for BENCH_*.json files")
     bench_p.add_argument("--trace-dir", metavar="DIR",

@@ -7,9 +7,17 @@ the run's event bus, and prints one PASS/FAIL line.  ``--faults SEED``
 additionally injects the seeded fault tape, which a passing run proves the
 architectural results survived.
 
-Exit status: 0 when every run verified clean, 2 on the first violation
-(the :class:`~repro.errors.VerifyError` diagnostic names the invariant,
-node, epoch, block and recent event chain) or on bad arguments.
+``--jobs N`` (or ``REPRO_JOBS``) fans the (workload, variant) runs out
+across worker processes through :mod:`repro.harness.pool`; PASS/FAIL lines
+and the report file keep their serial order regardless of completion
+order.  The parallel sweep always runs to completion: a failing or
+crashing run becomes a FAIL line plus a structured error row instead of
+aborting the remaining runs (``--jobs 1``, the default, keeps the serial
+fail-fast behaviour for debugging).
+
+Exit status: 0 when every run verified clean, 2 on a violation (the
+:class:`~repro.errors.VerifyError` diagnostic names the invariant, node,
+epoch, block and recent event chain), a crashed run, or bad arguments.
 
 Example::
 
@@ -39,50 +47,9 @@ def _write_report(path: str, reports: list[dict]) -> None:
         fh.write("\n")
 
 
-def _main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-verify",
-        description="Run workloads under the online coherence invariant "
-                    "checker (SWMR, directory/cache agreement, CICO "
-                    "discipline, epoch consistency, event conservation).",
-    )
-    parser.add_argument(
-        "--workload", action="append", metavar="NAME",
-        help=f"workload(s) to check (default: {' '.join(DEFAULT_WORKLOADS)})",
-    )
-    parser.add_argument(
-        "--variant", action="append", metavar="NAME",
-        help="variant(s) per workload: plain, hand, hand+pf, cachier, "
-             f"cachier+pf (default: {' '.join(DEFAULT_VARIANTS)})",
-    )
-    parser.add_argument(
-        "--policy", default="performance",
-        choices=["performance", "programmer"],
-        help="CICO flavour for the cachier variants",
-    )
-    parser.add_argument(
-        "--faults", type=int, metavar="SEED", default=None,
-        help="inject the seeded fault tape (repro.faults) into every run",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="treat CICO discipline findings as failures, not warnings",
-    )
-    parser.add_argument(
-        "--report-out", metavar="FILE",
-        help="write every run's VerifyReport as JSON to FILE",
-    )
-    parser.add_argument(
-        "--json", action="store_true",
-        help="print the report JSON to stdout instead of PASS/FAIL lines",
-    )
-    args = parser.parse_args(argv)
-    from repro.cachier.annotator import Policy
-
-    policy = Policy(args.policy)
-    workloads = tuple(args.workload) if args.workload else DEFAULT_WORKLOADS
-    variants = tuple(args.variant) if args.variant else DEFAULT_VARIANTS
-
+def _run_serial(args, policy, workloads, variants) -> int:
+    """The pre-pool in-process path (``--jobs 1``): fail fast on the first
+    violation, raising the VerifyError itself."""
     reports: list[dict] = []
     failures = 0
     for name in workloads:
@@ -127,6 +94,124 @@ def _main(argv=None) -> int:
     if args.json:
         print(json.dumps({"runs": reports}, indent=2, sort_keys=True))
     return 0 if failures == 0 else 2
+
+
+def _run_pooled(args, policy, workloads, variants, jobs) -> int:
+    """The parallel path: every (workload, variant) run is an independent
+    pool task; the sweep completes even when runs fail or crash."""
+    from repro.harness.pool import (
+        RunTask,
+        SweepPool,
+        render_errors,
+        summarize_failures,
+    )
+
+    tasks = [
+        RunTask.make(
+            "verify", f"{name}/{variant}",
+            workload=name, variant=variant, policy=policy.value,
+            faults_seed=args.faults, strict=args.strict,
+        )
+        for name in workloads
+        for variant in variants
+    ]
+    reports: list[dict] = []
+    failed_runs: list[str] = []
+
+    def on_result(outcome):
+        if not outcome.ok:
+            failed_runs.append(outcome.task.key)
+            if not args.json:
+                print(f"FAIL  {outcome.task.key}")
+            err = outcome.error or {}
+            reports.append({
+                "label": outcome.task.key, "ok": False,
+                "error": err.get("message", "worker failed"),
+            })
+            return
+        value = outcome.value
+        if value.get("skipped"):
+            return  # workload has no such variant (e.g. no hand version)
+        reports.append(value["report"])
+        if not value["ok"]:
+            failed_runs.append(outcome.task.key)
+            if not args.json:
+                print(f"FAIL  {value['label']}")
+            return
+        if not args.json:
+            note = f"{value['checks']} checks"
+            if value["warnings"]:
+                note += f", {value['warnings']} cico warnings"
+            if args.faults is not None:
+                note += f", faults seed={args.faults}"
+            print(f"PASS  {value['label']:24s} {note}")
+
+    outcomes = SweepPool(jobs=jobs).run(tasks, on_result)
+    if args.report_out:
+        _write_report(args.report_out, reports)
+    if args.json:
+        print(json.dumps({"runs": reports}, indent=2, sort_keys=True))
+    pool_errors = [out for out in outcomes if not out.ok]
+    if pool_errors:
+        print(render_errors(pool_errors))
+        raise summarize_failures(pool_errors, total=len(tasks))
+    return 0 if not failed_runs else 2
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Run workloads under the online coherence invariant "
+                    "checker (SWMR, directory/cache agreement, CICO "
+                    "discipline, epoch consistency, event conservation).",
+    )
+    parser.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help=f"workload(s) to check (default: {' '.join(DEFAULT_WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--variant", action="append", metavar="NAME",
+        help="variant(s) per workload: plain, hand, hand+pf, cachier, "
+             f"cachier+pf (default: {' '.join(DEFAULT_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--policy", default="performance",
+        choices=["performance", "programmer"],
+        help="CICO flavour for the cachier variants",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="verify (workload, variant) runs across N worker processes "
+             "(0 = one per CPU; default $REPRO_JOBS or 1 = in-process, "
+             "fail-fast)",
+    )
+    parser.add_argument(
+        "--faults", type=int, metavar="SEED", default=None,
+        help="inject the seeded fault tape (repro.faults) into every run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat CICO discipline findings as failures, not warnings",
+    )
+    parser.add_argument(
+        "--report-out", metavar="FILE",
+        help="write every run's VerifyReport as JSON to FILE",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the report JSON to stdout instead of PASS/FAIL lines",
+    )
+    args = parser.parse_args(argv)
+    from repro.cachier.annotator import Policy
+    from repro.harness.pool import resolve_jobs
+
+    policy = Policy(args.policy)
+    workloads = tuple(args.workload) if args.workload else DEFAULT_WORKLOADS
+    variants = tuple(args.variant) if args.variant else DEFAULT_VARIANTS
+    jobs = resolve_jobs(args.jobs)
+    if jobs == 1:
+        return _run_serial(args, policy, workloads, variants)
+    return _run_pooled(args, policy, workloads, variants, jobs)
 
 
 def main(argv=None) -> int:

@@ -108,3 +108,95 @@ def test_figure6_cli_resume_requires_checkpoint_dir(capsys):
         main(["--resume"])
     assert excinfo.value.code == 2
     assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+
+# ------------------------------------------------ pool failure modes exit 2
+#
+# Every sweep-level failure of the parallel executor must leave through the
+# same door: the table (plus a structured error table) on stdout, then a
+# one-line ``<prog>: error:`` diagnostic on stderr and exit status 2.
+
+def test_figure6_cli_worker_crash_exits_2_with_error_table(
+    capsys, monkeypatch
+):
+    from repro.harness.figure6 import main
+    from repro.harness.pool import CRASH_ENV
+
+    monkeypatch.setenv(CRASH_ENV, "mp3d/hand")
+    rc = main(["--benchmark", "mp3d", "--no-prefetch", "--jobs", "1"])
+    assert rc == EXIT_ERROR
+    captured = capsys.readouterr()
+    assert "failed runs" in captured.out  # the structured error table
+    assert "WorkerCrash" in captured.out
+    assert captured.err.startswith("cachier-figure6: error: ")
+    assert "mp3d/hand" in captured.err
+    assert captured.err.count("\n") == 1
+
+
+def test_figure6_cli_retry_exhausted_exits_2(capsys, monkeypatch):
+    from repro.errors import WatchdogError
+    from repro.harness.figure6 import main
+    from repro.harness.variants import VariantSet
+
+    original = VariantSet.run
+    calls = []
+
+    def watchdogged(self, variant, observer=None, **kwargs):
+        if variant == "cachier":
+            calls.append(variant)
+            raise WatchdogError("node 2 stuck at pc 7", node=2, pc=7)
+        return original(self, variant, observer, **kwargs)
+
+    monkeypatch.setattr(VariantSet, "run", watchdogged)
+    rc = main(["--benchmark", "mp3d", "--no-prefetch", "--jobs", "1"])
+    assert rc == EXIT_ERROR
+    assert calls == ["cachier", "cachier"]  # retried once, then reported
+    captured = capsys.readouterr()
+    assert "WatchdogError" in captured.out
+    assert "node 2 stuck" in captured.out
+    assert captured.err.startswith("cachier-figure6: error: ")
+    assert captured.err.count("\n") == 1
+
+
+def test_figure6_cli_ledger_conflict_exits_2(tmp_path, capsys, monkeypatch):
+    from repro.harness.checkpoint import SweepState
+    from repro.harness.figure6 import main
+    from repro.harness.pool import CRASH_ENV
+
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    SweepState(str(tmp_path)).mark("tomcatv/cachier", 999)
+    rc = main([
+        "--benchmark", "mp3d", "--no-prefetch",
+        "--checkpoint-dir", str(tmp_path), "--resume",
+    ])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("cachier-figure6: error: sweep ledger conflict")
+    assert err.count("\n") == 1
+
+
+def test_figure6_cli_bad_jobs_env_exits_2(capsys, monkeypatch):
+    from repro.harness.figure6 import main
+    from repro.harness.pool import JOBS_ENV
+
+    monkeypatch.setenv(JOBS_ENV, "a-lot")
+    rc = main(["--benchmark", "mp3d", "--no-prefetch"])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("cachier-figure6: error: ")
+    assert "REPRO_JOBS" in err
+
+
+def test_verify_cli_parallel_crash_exits_2(capsys, monkeypatch):
+    from repro.harness.pool import CRASH_ENV
+    from repro.verify.cli import main
+
+    monkeypatch.setenv(CRASH_ENV, "mp3d/cachier")
+    rc = main(["--workload", "mp3d", "--jobs", "2"])
+    assert rc == EXIT_ERROR
+    captured = capsys.readouterr()
+    assert "PASS  mp3d/plain" in captured.out  # the sweep completed
+    assert "FAIL  mp3d/cachier" in captured.out
+    assert "WorkerCrash" in captured.out
+    assert captured.err.startswith("repro-verify: error: ")
+    assert captured.err.count("\n") == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the parallel sweep executor (:mod:`repro.harness.pool`).
+
+The probe task kind keeps these fast: the pool's scheduling, ordered
+delivery, retry and crash-recovery behaviour is identical for probes and
+for real simulation runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PoolError
+from repro.harness.pool import (
+    CRASH_ENV,
+    JOBS_ENV,
+    RunOutcome,
+    RunTask,
+    SweepPool,
+    render_errors,
+    resolve_jobs,
+    summarize_failures,
+)
+
+
+def _probe(key, **payload):
+    return RunTask.make("probe", key, **payload)
+
+
+# ------------------------------------------------------------ resolve_jobs
+def test_resolve_jobs_defaults_to_inline(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_reads_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "4")
+    assert resolve_jobs(None) == 4
+    # an explicit value always wins over the environment
+    assert resolve_jobs(2) == 2
+
+
+def test_resolve_jobs_zero_means_cpu_count(monkeypatch):
+    import os
+
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "many")
+    with pytest.raises(PoolError, match="REPRO_JOBS"):
+        resolve_jobs(None)
+    with pytest.raises(PoolError, match="--jobs"):
+        resolve_jobs(-1)
+
+
+# ------------------------------------------------------------- basic runs
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_pool_returns_outcomes_in_task_order(jobs, monkeypatch):
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    # later tasks finish first in the parallel case (reverse sleeps), yet
+    # both outcome order and callback order follow submission order
+    tasks = [
+        _probe(f"t{i}", value=i, sleep=0.05 * (3 - i) if jobs > 1 else 0.0)
+        for i in range(4)
+    ]
+    delivered = []
+    outcomes = SweepPool(jobs=jobs).run(
+        tasks, on_result=lambda out: delivered.append(out.task.key)
+    )
+    assert [out.value for out in outcomes] == [0, 1, 2, 3]
+    assert all(out.ok and out.attempts == 1 for out in outcomes)
+    assert delivered == ["t0", "t1", "t2", "t3"]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failing_task_is_retried_once_then_reported(jobs, monkeypatch):
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    tasks = [_probe("ok", value=1), _probe("bad", fail=True),
+             _probe("also-ok", value=2)]
+    outcomes = SweepPool(jobs=jobs).run(tasks)
+    assert [out.ok for out in outcomes] == [True, False, True]
+    bad = outcomes[1]
+    assert bad.attempts == 2  # one retry, then the error row stands
+    assert bad.error["kind"] == "PoolError"
+    assert "deliberately" in bad.error["message"]
+
+
+def test_empty_task_list_is_a_noop():
+    assert SweepPool(jobs=2).run([]) == []
+
+
+def test_duplicate_task_keys_refused():
+    tasks = [_probe("same", value=1), _probe("same", value=2)]
+    with pytest.raises(PoolError, match="duplicate"):
+        SweepPool(jobs=1).run(tasks)
+
+
+def test_unknown_task_kind_is_structured_error(monkeypatch):
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    out = SweepPool(jobs=1).run([RunTask.make("no-such-kind", "x")])[0]
+    assert not out.ok
+    assert "unknown pool task kind" in out.error["message"]
+
+
+def test_programming_errors_propagate_inline(monkeypatch):
+    # Non-ReproError exceptions are bugs: the sweep aborts loudly instead
+    # of tabulating them (same contract as run_cli).
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    from repro.harness import pool as pool_mod
+
+    def boom(**kwargs):
+        raise ValueError("a programming error")
+
+    monkeypatch.setitem(pool_mod._EXECUTORS, "probe", boom)
+    with pytest.raises(ValueError, match="programming error"):
+        SweepPool(jobs=1).run([_probe("x")])
+
+
+# ------------------------------------------------------------ crash paths
+def test_worker_crash_fails_only_its_run_parallel(monkeypatch):
+    monkeypatch.setenv(CRASH_ENV, "crasher")
+    tasks = [_probe("a", value="a"), _probe("crasher", value="never"),
+             _probe("b", value="b"), _probe("c", value="c")]
+    outcomes = SweepPool(jobs=2).run(tasks)
+    by_key = {out.task.key: out for out in outcomes}
+    assert by_key["a"].ok and by_key["b"].ok and by_key["c"].ok
+    crashed = by_key["crasher"]
+    assert not crashed.ok
+    assert crashed.error["crash"] is True
+    assert crashed.attempts == 2
+
+
+def test_worker_crash_inline_becomes_error_row(monkeypatch):
+    # jobs=1 cannot survive a real os._exit, so the inline path turns the
+    # injected crash into the same structured row the parallel path yields.
+    monkeypatch.setenv(CRASH_ENV, "crasher")
+    outcomes = SweepPool(jobs=1).run(
+        [_probe("ok", value=1), _probe("crasher")]
+    )
+    assert outcomes[0].ok
+    assert not outcomes[1].ok
+    assert outcomes[1].error["crash"] is True
+
+
+# -------------------------------------------------------------- rendering
+def test_error_table_and_summary(monkeypatch):
+    monkeypatch.delenv(CRASH_ENV, raising=False)
+    outcomes = SweepPool(jobs=1).run(
+        [_probe("fine", value=0), _probe("broken", fail=True)]
+    )
+    table = render_errors(outcomes)
+    assert "broken" in table and "fine" not in table.split("\n", 2)[2]
+    err = summarize_failures(outcomes, total=2)
+    assert isinstance(err, PoolError)
+    assert "1 of 2 sweep runs failed" in str(err)
+    assert "broken" in str(err)
+
+
+def test_outcome_error_row_shape():
+    out = RunOutcome(
+        _probe("k"), ok=False, attempts=2,
+        error={"kind": "WatchdogError", "message": "stuck"},
+    )
+    assert out.error_row() == ["k", 2, "WatchdogError", "stuck"]
+
+
+# ------------------------------------------------- variant planning parity
+def test_planned_variants_matches_build_variants():
+    from repro.harness.variants import build_variants, planned_variants
+    from repro.workloads.base import get_workload
+
+    spec = get_workload("mp3d")
+    for include_prefetch in (False, True):
+        built = build_variants(spec, include_prefetch=include_prefetch)
+        assert planned_variants(spec, include_prefetch) == tuple(
+            built.programs
+        )
