@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 
 from repro.cachier.annotator import Cachier, Policy
-from repro.cliutil import run_cli
+from repro.cliutil import add_version, run_cli
 from repro.harness.runner import trace_program
 from repro.lang.unparse import unparse_program
 from repro.trace.file_io import salvage_trace, write_trace
@@ -20,43 +20,36 @@ from repro.workloads.base import get_workload, registry
 
 
 def _spec_from_source(args):
-    """Build a WorkloadSpec-alike from a self-describing source file."""
+    """Build a WorkloadSpec from a self-describing source file."""
     import json
     import os
 
-    from repro.lang.parse import parse_program
-    from repro.machine.config import MachineConfig
-    from repro.workloads.base import WorkloadSpec
+    from repro.workloads.base import spec_from_source
 
     with open(args.source, "r", encoding="utf-8") as fh:
         text = fh.read()
-    per_node: dict[int, dict] = {}
-    param_names: set[str] = set()
+    params = None
     if args.params:
         if os.path.exists(args.params):
             with open(args.params, "r", encoding="utf-8") as fh:
                 raw = fh.read()
         else:
             raw = args.params
-        for node, env in json.loads(raw).items():
-            per_node[int(node)] = dict(env)
-            param_names |= set(env)
-    program = parse_program(text, arrays=None, params=param_names)
-    return WorkloadSpec(
+        params = json.loads(raw)
+    return spec_from_source(
+        text,
         name=os.path.basename(args.source),
-        program=program,
-        params_fn=lambda node: per_node.get(node, {}),
-        config=MachineConfig(
-            num_nodes=args.nodes,
-            cache_size=args.cache_size,
-            block_size=args.block_size,
-            assoc=args.assoc,
-        ),
+        num_nodes=args.nodes,
+        cache_size=args.cache_size,
+        block_size=args.block_size,
+        assoc=args.assoc,
+        params=params,
     )
 
 
 def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    add_version(parser, "cachier-annotate")
     parser.add_argument(
         "--workload", default="matmul_racing", choices=sorted(registry())
     )

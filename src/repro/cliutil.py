@@ -11,6 +11,7 @@ those are bugs and hiding them helps nobody.
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Sequence
 
@@ -18,6 +19,28 @@ from repro.errors import ReproError
 
 #: exit status for diagnosed tool-level failures (argparse uses 2 as well)
 EXIT_ERROR = 2
+
+
+def package_version() -> str:
+    """The installed package version (single source: ``repro.__version__``)."""
+    from repro import __version__
+
+    return __version__
+
+
+def add_version(parser: argparse.ArgumentParser, prog: str) -> None:
+    """Give ``parser`` the standard ``--version`` flag.
+
+    Every console script of the package reports the same package version in
+    the same shape (``<prog> (repro <version>)``), so scripts and the
+    service's status endpoint can correlate artifacts with the code that
+    produced them.
+    """
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"{prog} (repro {package_version()})",
+    )
 
 
 def run_cli(

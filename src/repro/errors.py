@@ -127,6 +127,14 @@ class PoolError(CachierError):
     this one-line summary via ``run_cli`` (exit status 2)."""
 
 
+class ServiceError(CachierError):
+    """The annotation service (:mod:`repro.service`) refused a request or
+    met a broken ledger: malformed job spec, unknown job id or artifact,
+    corrupt sqlite state, or a daemon endpoint that cannot be reached.
+    Server-side it maps to an HTTP 4xx/5xx with a JSON error body; client
+    side ``run_cli`` turns it into the usual one-line exit-2 diagnostic."""
+
+
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 

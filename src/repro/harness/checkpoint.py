@@ -25,19 +25,10 @@ silently starting the work over.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 from repro.errors import CheckpointError
-
-
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="ascii") as fh:
-        json.dump(payload, fh, separators=(",", ":"))
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+from repro.util.atomic_write import atomic_write_json as _atomic_write_json
 
 
 def _read_json(path: Path) -> dict | None:

@@ -260,6 +260,9 @@ def render_figure6(rows: list[Fig6Row]) -> str:
 
 def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    from repro.cliutil import add_version
+
+    add_version(parser, "cachier-figure6")
     parser.add_argument(
         "--benchmark",
         action="append",

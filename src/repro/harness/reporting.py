@@ -4,6 +4,33 @@ from __future__ import annotations
 
 from typing import Sequence
 
+#: strings treated as "no value" when deciding column alignment
+PLACEHOLDERS = {"", "-", "*"}
+
+
+def format_cell(value: object) -> str:
+    """One cell's display text: floats get three decimals, everything else
+    ``str()``.  Shared by the plain-text tables here and the HTML tables in
+    :mod:`repro.service.reports`, so a number renders identically in the
+    terminal and on a dashboard."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def is_numeric_column(rows: Sequence[Sequence[object]], col: int) -> bool:
+    """True when every cell is an int/float (placeholder strings ignored)."""
+    saw_number = False
+    for row in rows:
+        value = row[col]
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, (int, float)):
+            saw_number = True
+        elif not (isinstance(value, str) and value in PLACEHOLDERS):
+            return False
+    return saw_number
+
 
 def render_table(
     headers: Sequence[str],
@@ -15,33 +42,13 @@ def render_table(
     Numeric columns (every cell an int/float, ignoring placeholder strings
     like ``""``, ``"-"`` or ``"*"``) are right-aligned.
     """
-
-    def cell(value: object) -> str:
-        if isinstance(value, float):
-            return f"{value:.3f}"
-        return str(value)
-
-    _PLACEHOLDERS = {"", "-", "*"}
-
-    def numeric(col: int) -> bool:
-        saw_number = False
-        for row in rows:
-            value = row[col]
-            if isinstance(value, bool):
-                return False
-            if isinstance(value, (int, float)):
-                saw_number = True
-            elif not (isinstance(value, str) and value in _PLACEHOLDERS):
-                return False
-        return saw_number
-
-    grid = [[cell(v) for v in row] for row in rows]
+    grid = [[format_cell(v) for v in row] for row in rows]
     widths = [
         max(len(headers[col]), *(len(row[col]) for row in grid)) if grid
         else len(headers[col])
         for col in range(len(headers))
     ]
-    right = [numeric(col) for col in range(len(headers))]
+    right = [is_numeric_column(rows, col) for col in range(len(headers))]
 
     def align(text: str, col: int) -> str:
         return text.rjust(widths[col]) if right[col] else text.ljust(widths[col])

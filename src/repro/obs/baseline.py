@@ -138,11 +138,11 @@ def bench_workload(
 
 
 def write_bench(bench: dict, out_dir: str) -> str:
+    from repro.util.atomic_write import atomic_write_json
+
     os.makedirs(out_dir, exist_ok=True)
     path = bench_path(out_dir, bench["workload"])
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(bench, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, bench, indent=2, sort_keys=True)
     return path
 
 

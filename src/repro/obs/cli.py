@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cliutil import run_cli
+from repro.cliutil import add_version, run_cli
 from repro.harness.reporting import render_table
 from repro.obs.export import read_manifest, write_chrome_trace, write_manifest
 from repro.obs.metrics import counter_delta
@@ -328,6 +328,7 @@ def _cmd_diff(args) -> int:
 
 def _main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
+    add_version(parser, "repro-obs")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one workload variant observed")

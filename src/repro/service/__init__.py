@@ -1,0 +1,37 @@
+"""``repro.service`` — annotation-as-a-service.
+
+A long-running daemon (the ``repro-serve`` console script) that accepts
+annotate / figure6-sweep / bench / profile / critpath / verify jobs over a
+local HTTP+JSON API, persists a job ledger in sqlite (queued → running →
+done/failed, with retry counts and timings), fans execution out through the
+existing :mod:`repro.harness.pool` process pool, and renders browsable HTML
+dashboards from the stored artifacts.
+
+The load-bearing idea is the *content-hash result cache*
+(:mod:`repro.service.hashing`): every job is keyed by a canonical hash of
+(program IR, machine config, variant, seed, faults spec, code version), so
+a repeat submission — no matter when, or from which client — is an instant
+cache hit returning the stored artifact set, byte-identical to a cold run.
+Verification is default-on for served jobs precisely because it is
+memoized this way: a content hash is only ever verified once.
+
+Layout::
+
+    hashing.py   canonical job keys (sha-256 over canonical JSON + IR text)
+    db.py        sqlite job ledger (repro.sqlite), crash recovery
+    jobs.py      job-spec normalization and executors
+    queue.py     worker threads draining the ledger
+    reports.py   HTML dashboards (job index, Figure-6 tables, heatmaps,
+                 critpath straggler views), all output HTML-escaped
+    app.py       the HTTP server (JSON API + dashboards)
+    client.py    python client for the API
+    cli.py       ``repro-serve`` and ``repro-client``
+
+See ``docs/service.md`` for the API and job lifecycle.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.hashing import job_key
+from repro.service.queue import JobQueue, ServiceConfig
+
+__all__ = ["JobQueue", "ServiceClient", "ServiceConfig", "job_key"]

@@ -1,0 +1,188 @@
+"""The daemon's HTTP surface: a JSON API plus the live dashboards.
+
+Stdlib only (``http.server``); the daemon binds localhost by default and
+is a trusted-network tool, not an internet-facing one.  The handler is
+deliberately thin — every decision lives in :class:`JobQueue` — so the
+API, the CLI client and the tests exercise identical semantics.
+
+Routes::
+
+    GET  /healthz                       liveness probe ("ok")
+    GET  /api/status                    version, queue counts, cache stats
+    GET  /api/jobs                      job ledger, newest first
+    POST /api/jobs                      submit {"kind": ..., "params": {...}}
+    GET  /api/jobs/<id>                 one job (spec, result, artifacts)
+    GET  /api/jobs/<id>/artifacts/<p>   one stored artifact's bytes
+    GET  /                              HTML dashboard index
+    GET  /jobs/<id>.html                HTML job detail
+
+Submission responses carry ``disposition``: ``new`` (queued),
+``cached`` (content hash already served — stored artifacts, zero simulator
+cycles), ``coalesced`` (an identical job is already in flight) or
+``requeued`` (a previously failed key, retried).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, ServiceError
+from repro.service.queue import JobQueue
+
+_CONTENT_TYPES = {
+    ".json": "application/json",
+    ".jsonl": "application/jsonl",
+    ".html": "text/html; charset=utf-8",
+    ".txt": "text/plain; charset=utf-8",
+    ".src": "text/plain; charset=utf-8",
+}
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    server: "ServiceServer"
+
+    # ------------------------------------------------------------ plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _html(self, text: str, status: int = 200) -> None:
+        self._send(status, text.encode("utf-8"), "text/html; charset=utf-8")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json({"error": message}, status=status)
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        try:
+            self._route_get()
+        except ServiceError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(500, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        try:
+            self._route_post()
+        except ServiceError as exc:
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(500, str(exc))
+
+    def _route_get(self) -> None:
+        queue = self.server.queue
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, b"ok\n", "text/plain; charset=utf-8")
+        elif path == "/api/status":
+            self._json(queue.status())
+        elif path == "/api/jobs":
+            self._json({
+                "jobs": [queue.job_payload(row) for row in queue.db.jobs()]
+            })
+        elif path.startswith("/api/jobs/"):
+            rest = path[len("/api/jobs/"):]
+            if "/artifacts/" in rest:
+                job_id, name = rest.split("/artifacts/", 1)
+                self._artifact(int(job_id), name)
+            else:
+                self._json(queue.job_payload(queue.db.job(int(rest))))
+        elif path in ("/", "/index.html"):
+            self._dashboard_index()
+        elif path.startswith("/jobs/") and path.endswith(".html"):
+            self._dashboard_job(int(path[len("/jobs/"):-len(".html")]))
+        else:
+            self._error(404, f"no route for {path}")
+
+    def _route_post(self) -> None:
+        if self.path.rstrip("/") != "/api/jobs":
+            self._error(404, f"no POST route for {self.path}")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from None
+        if not isinstance(body, dict) or "kind" not in body:
+            raise ServiceError('request body must be {"kind": ..., '
+                               '"params": {...}}')
+        payload = self.server.queue.submit(body["kind"], body.get("params"))
+        self._json(payload, status=200 if payload["cached"] else 202)
+
+    # ---------------------------------------------------------- dashboards
+    def _artifact(self, job_id: int, name: str) -> None:
+        path = self.server.queue.artifact_path(job_id, name)
+        suffix = path.suffix.lower()
+        content_type = _CONTENT_TYPES.get(suffix, "application/octet-stream")
+        self._send(200, path.read_bytes(), content_type)
+
+    def _dashboard_index(self) -> None:
+        from repro.service.reports import render_index
+
+        queue = self.server.queue
+        payloads = [queue.job_payload(row) for row in queue.db.jobs()]
+        self._html(render_index(queue.status(), payloads))
+
+    def _dashboard_job(self, job_id: int) -> None:
+        from repro.service.reports import render_job
+
+        queue = self.server.queue
+        payload = queue.job_payload(queue.db.job(job_id))
+        # the live job page reads artifacts straight off disk, like the
+        # static exporter does
+        payload["_artifact_root"] = str(queue.artifact_dir(payload["key"]))
+
+        def href(name: str) -> str:
+            return f"/api/jobs/{job_id}/artifacts/{name}"
+
+        self._html(render_job(payload, href))
+
+
+class ServiceServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], queue: JobQueue,
+                 verbose: bool = False):
+        super().__init__(address, ServiceHandler)
+        self.queue = queue
+        self.verbose = verbose
+
+
+def serve(queue: JobQueue, host: str = "127.0.0.1", port: int = 0,
+          verbose: bool = False) -> ServiceServer:
+    """Bind the server (``port=0`` picks a free port; the bound one is on
+    ``server.server_address``) and start the queue's workers.  The caller
+    owns the accept loop: ``server.serve_forever()``."""
+    try:
+        server = ServiceServer((host, port), queue, verbose=verbose)
+    except OSError as exc:
+        raise ServiceError(f"cannot bind {host}:{port}: {exc}") from None
+    queue.start()
+    return server
+
+
+def serve_background(queue: JobQueue, host: str = "127.0.0.1",
+                     port: int = 0) -> tuple[ServiceServer, threading.Thread]:
+    """In-process daemon for tests: accept loop on a thread."""
+    server = serve(queue, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+__all__ = ["ServiceHandler", "ServiceServer", "serve", "serve_background"]

@@ -1,0 +1,233 @@
+"""Console entry points: ``repro-serve`` (daemon) and ``repro-client``.
+
+The daemon writes ``service.json`` — ``{"url", "pid", "version"}`` — into
+its data directory once bound, so clients on the same machine can find it
+with ``--data-dir`` instead of copying a URL around.
+
+``python -m repro.service.cli serve|client ...`` dispatches to the same
+two mains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.cliutil import add_version, package_version, run_cli
+from repro.errors import ServiceError
+
+SERVICE_FILE = "service.json"
+
+
+# -------------------------------------------------------------------- serve
+def _serve(argv: Sequence[str] | None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Annotation-as-a-service daemon: job queue, "
+        "content-hash result cache, HTML dashboards.",
+    )
+    parser.add_argument("--data-dir", required=True,
+                        help="ledger + artifact directory (created if needed)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks a free one; default 8642)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="concurrent job executors (default 1)")
+    parser.add_argument("--pool-jobs", type=int, default=1,
+                        help="process-pool width inside sweep jobs")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="turn off default-on verification for "
+                        "served simulations")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="interrupted attempts before a job is abandoned")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+    add_version(parser, "repro-serve")
+    args = parser.parse_args(argv)
+
+    from repro.service.app import serve
+    from repro.service.queue import JobQueue, ServiceConfig
+    from repro.util.atomic_write import atomic_write_json
+
+    data_dir = Path(args.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    queue = JobQueue(ServiceConfig(
+        data_dir=str(data_dir),
+        workers=args.workers,
+        pool_jobs=args.pool_jobs,
+        verify_default=not args.no_verify,
+        max_retries=args.max_retries,
+    ))
+    server = serve(queue, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    atomic_write_json(
+        data_dir / SERVICE_FILE,
+        {"url": url, "pid": os.getpid(), "version": package_version()},
+        indent=2, sort_keys=True,
+    )
+    print(f"repro-serve: listening on {url} "
+          f"(data dir {data_dir})", file=sys.stderr, flush=True)
+
+    def _shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down", file=sys.stderr, flush=True)
+    finally:
+        server.shutdown()
+        queue.stop()
+    return 0
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    return run_cli(_serve, argv, prog="repro-serve")
+
+
+# ------------------------------------------------------------------- client
+def _endpoint(args) -> str:
+    """The daemon URL: ``--url`` wins, else ``--data-dir/service.json``."""
+    if args.url:
+        return args.url
+    if args.data_dir:
+        path = Path(args.data_dir) / SERVICE_FILE
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))["url"]
+        except FileNotFoundError:
+            raise ServiceError(
+                f"no {SERVICE_FILE} in {args.data_dir} — is the daemon "
+                f"running with that --data-dir?"
+            ) from None
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ServiceError(f"corrupt {path}: {exc}") from None
+    raise ServiceError("need --url or --data-dir to locate the daemon")
+
+
+def _params(args) -> dict:
+    if not args.params:
+        return {}
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"--params is not JSON: {exc}") from None
+    if not isinstance(params, dict):
+        raise ServiceError("--params must be a JSON object")
+    return params
+
+
+def _dump(payload) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _client(argv: Sequence[str] | None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-client",
+        description="Submit and inspect repro-serve jobs.",
+    )
+    parser.add_argument("--url", help="daemon endpoint, e.g. "
+                        "http://127.0.0.1:8642")
+    parser.add_argument("--data-dir",
+                        help="daemon data dir (reads its service.json)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait in blocking commands")
+    add_version(parser, "repro-client")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="submit a job")
+    p.add_argument("kind", help="annotate | figure6 | bench | profile | "
+                   "critpath | verify")
+    p.add_argument("--params", help="job parameters as a JSON object")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes")
+
+    p = sub.add_parser("show", help="print one job")
+    p.add_argument("id", type=int)
+
+    p = sub.add_parser("wait", help="block until a job finishes")
+    p.add_argument("id", type=int)
+
+    sub.add_parser("list", help="print the job ledger")
+    sub.add_parser("status", help="print daemon status")
+
+    p = sub.add_parser("artifact", help="fetch one artifact's bytes")
+    p.add_argument("id", type=int)
+    p.add_argument("name", help="artifact path, e.g. figure6.txt")
+    p.add_argument("-o", "--out", help="write to a file instead of stdout")
+
+    p = sub.add_parser("dashboard",
+                       help="export the static HTML dashboard from the "
+                       "daemon's data dir (requires --data-dir)")
+    p.add_argument("--out", required=True, help="output directory")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "dashboard":
+        from repro.service.reports import export_site
+
+        if not args.data_dir:
+            raise ServiceError("dashboard export reads the ledger directly: "
+                               "pass --data-dir")
+        written = export_site(args.data_dir, args.out)
+        print(f"wrote {len(written)} pages under {args.out}")
+        return 0
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_endpoint(args))
+    if args.command == "submit":
+        payload = client.submit(args.kind, _params(args))
+        if args.wait and not payload["cached"]:
+            payload = client.wait(payload["id"], timeout=args.timeout)
+        _dump(payload)
+        return 2 if payload["state"] == "failed" and args.wait else 0
+    if args.command == "show":
+        _dump(client.job(args.id))
+        return 0
+    if args.command == "wait":
+        payload = client.wait(args.id, timeout=args.timeout)
+        _dump(payload)
+        return 2 if payload["state"] == "failed" else 0
+    if args.command == "list":
+        _dump(client.jobs())
+        return 0
+    if args.command == "status":
+        _dump(client.status())
+        return 0
+    if args.command == "artifact":
+        data = client.artifact(args.id, args.name)
+        if args.out:
+            Path(args.out).write_bytes(data)
+        else:
+            sys.stdout.buffer.write(data)
+        return 0
+    raise ServiceError(f"unknown command {args.command!r}")
+
+
+def client_main(argv: Sequence[str] | None = None) -> int:
+    return run_cli(_client, argv, prog="repro-client")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.service.cli serve|client ...``"""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
+    print("usage: python -m repro.service.cli {serve,client} ...",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""A small urllib client for the repro-serve JSON API.
+
+Used by the ``repro-client`` CLI and the tests; any HTTP or transport
+failure surfaces as :class:`~repro.errors.ServiceError` so callers get
+the repo's usual one-line exit-2 behaviour through ``run_cli``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+
+#: job states that wait() treats as terminal
+TERMINAL_STATES = ("done", "failed")
+
+
+class ServiceClient:
+    """Talk to one daemon at ``url`` (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+    def _request(self, path: str, body: dict | None = None) -> bytes:
+        request = urllib.request.Request(self.url + path)
+        if body is not None:
+            request.data = json.dumps(body).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+            raise ServiceError(
+                f"{path}: HTTP {exc.code}: {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc.reason}"
+            ) from None
+
+    def _json(self, path: str, body: dict | None = None) -> dict:
+        raw = self._request(path, body)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"{path}: daemon returned non-JSON response: {exc}"
+            ) from None
+
+    # ----------------------------------------------------------------- api
+    def healthy(self) -> bool:
+        try:
+            return self._request("/healthz").strip() == b"ok"
+        except ServiceError:
+            return False
+
+    def status(self) -> dict:
+        return self._json("/api/status")
+
+    def submit(self, kind: str, params: dict | None = None) -> dict:
+        """Submit one job; the response carries ``disposition`` and
+        ``cached`` (True when the content hash was already served)."""
+        return self._json("/api/jobs", {"kind": kind, "params": params or {}})
+
+    def job(self, job_id: int) -> dict:
+        return self._json(f"/api/jobs/{int(job_id)}")
+
+    def jobs(self) -> list[dict]:
+        return self._json("/api/jobs")["jobs"]
+
+    def wait(self, job_id: int, timeout: float = 600.0,
+             poll_interval: float = 0.2) -> dict:
+        """Poll until the job reaches ``done`` or ``failed``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in TERMINAL_STATES:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def artifact(self, job_id: int, name: str) -> bytes:
+        return self._request(f"/api/jobs/{int(job_id)}/artifacts/{name}")
+
+
+__all__ = ["ServiceClient", "TERMINAL_STATES"]

@@ -1,0 +1,249 @@
+"""The sqlite job ledger (``repro.sqlite`` inside the daemon's data dir).
+
+One row per distinct job *key* (content hash): states ``queued`` →
+``running`` → ``done`` / ``failed``, with retry counts and wall-clock
+timings.  The key is UNIQUE — re-submitting content the ledger already
+holds never creates a second row; :meth:`JobDb.submit` instead reports how
+the existing row absorbed the submission (``cached``, ``coalesced`` or
+``requeued``).
+
+The daemon is the only *writer*; worker threads share this object, which
+serializes state transitions under one lock and gives every thread its own
+sqlite connection.  Other processes (``repro-client dashboard``) read the
+file concurrently, which WAL journaling makes safe.
+
+Crash recovery: rows stuck in ``running`` can only mean the daemon died
+mid-job (a clean failure would have moved them to ``failed``).  On startup
+:meth:`JobDb.recover` moves them back to ``queued`` with ``retries + 1``
+so the queue resumes exactly where the kill interrupted it — the
+execution layer's own checkpoints (the figure6 sweep ledger) then make the
+resumed job byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+DB_NAME = "repro.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    key         TEXT NOT NULL UNIQUE,
+    kind        TEXT NOT NULL,
+    spec        TEXT NOT NULL,
+    state       TEXT NOT NULL DEFAULT 'queued',
+    retries     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    error       TEXT,
+    result      TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state);
+"""
+
+#: legal states, in lifecycle order
+STATES = ("queued", "running", "done", "failed")
+
+
+def _row_dict(row: sqlite3.Row | None) -> dict | None:
+    return None if row is None else {k: row[k] for k in row.keys()}
+
+
+class JobDb:
+    """Thread-safe job ledger over one sqlite file."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / DB_NAME
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        with self._lock:
+            conn = self._conn()
+            conn.executescript(_SCHEMA)
+            conn.commit()
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(str(self.path), timeout=10.0)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # ------------------------------------------------------------- writes
+    def submit(self, key: str, kind: str, spec_json: str) -> tuple[dict, str]:
+        """Record one submission; returns ``(job row, disposition)``.
+
+        Dispositions: ``new`` (row created and queued), ``cached`` (a done
+        row with this key already holds the artifacts), ``coalesced`` (the
+        key is already queued or running — the submissions share that run),
+        ``requeued`` (the key failed before; this submission retries it).
+        """
+        with self._lock:
+            conn = self._conn()
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO jobs (key, kind, spec, state, submitted_at)"
+                    " VALUES (?, ?, ?, 'queued', ?)",
+                    (key, kind, spec_json, time.time()),
+                )
+                conn.commit()
+                fresh = conn.execute(
+                    "SELECT * FROM jobs WHERE key = ?", (key,)
+                ).fetchone()
+                return _row_dict(fresh), "new"
+            if row["state"] == "done":
+                return _row_dict(row), "cached"
+            if row["state"] in ("queued", "running"):
+                return _row_dict(row), "coalesced"
+            # failed: give the content another chance
+            conn.execute(
+                "UPDATE jobs SET state='queued', error=NULL, result=NULL,"
+                " submitted_at=?, started_at=NULL, finished_at=NULL"
+                " WHERE id=?",
+                (time.time(), row["id"]),
+            )
+            conn.commit()
+            fresh = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (row["id"],)
+            ).fetchone()
+            return _row_dict(fresh), "requeued"
+
+    def claim_next(self) -> dict | None:
+        """Atomically move the oldest queued job to ``running``."""
+        with self._lock:
+            conn = self._conn()
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE state='queued'"
+                " ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state='running', started_at=? WHERE id=?",
+                (time.time(), row["id"]),
+            )
+            conn.commit()
+            claimed = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (row["id"],)
+            ).fetchone()
+            return _row_dict(claimed)
+
+    def finish(self, job_id: int, result_json: str) -> None:
+        self._transition(job_id, "done", result=result_json)
+
+    def fail(self, job_id: int, error: str) -> None:
+        self._transition(job_id, "failed", error=error)
+
+    def _transition(self, job_id, state, result=None, error=None) -> None:
+        with self._lock:
+            conn = self._conn()
+            cur = conn.execute(
+                "UPDATE jobs SET state=?, finished_at=?, result=?, error=?"
+                " WHERE id=? AND state='running'",
+                (state, time.time(), result, error, job_id),
+            )
+            conn.commit()
+            if cur.rowcount != 1:
+                raise ServiceError(
+                    f"job {job_id} is not running; cannot move it to {state}"
+                )
+
+    def recover(self, max_retries: int = 3) -> tuple[list[dict], list[dict]]:
+        """Startup crash recovery: requeue jobs a dead daemon left
+        ``running``.  A job already requeued ``max_retries`` times is
+        declared failed instead — it is what kept killing the daemon.
+        Returns ``(requeued rows, failed rows)``."""
+        requeued, failed = [], []
+        with self._lock:
+            conn = self._conn()
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state='running' ORDER BY id"
+            ).fetchall()
+            for row in rows:
+                if row["retries"] >= max_retries:
+                    conn.execute(
+                        "UPDATE jobs SET state='failed', finished_at=?,"
+                        " error=? WHERE id=?",
+                        (
+                            time.time(),
+                            f"abandoned after {row['retries']} interrupted "
+                            "attempts (the daemon died while running it)",
+                            row["id"],
+                        ),
+                    )
+                    failed.append(_row_dict(row))
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state='queued', retries=retries+1,"
+                        " started_at=NULL WHERE id=?",
+                        (row["id"],),
+                    )
+                    requeued.append(_row_dict(row))
+            conn.commit()
+        return requeued, failed
+
+    # -------------------------------------------------------------- reads
+    def job(self, job_id: int) -> dict:
+        row = self._conn().execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no job with id {job_id}")
+        return _row_dict(row)
+
+    def by_key(self, key: str) -> dict | None:
+        return _row_dict(
+            self._conn().execute(
+                "SELECT * FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+        )
+
+    def jobs(self, limit: int | None = None) -> list[dict]:
+        """All jobs, newest first."""
+        sql = "SELECT * FROM jobs ORDER BY id DESC"
+        args: tuple = ()
+        if limit is not None:
+            sql += " LIMIT ?"
+            args = (limit,)
+        return [_row_dict(r) for r in self._conn().execute(sql, args)]
+
+    def counts(self) -> dict[str, int]:
+        out = {state: 0 for state in STATES}
+        for row in self._conn().execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ):
+            out[row["state"]] = row["n"]
+        return out
+
+
+def open_readonly(directory: str | Path) -> JobDb:
+    """Open an existing ledger for reading (dashboard export).  Refuses a
+    directory that was never a service data dir."""
+    path = Path(directory) / DB_NAME
+    if not os.path.exists(path):
+        raise ServiceError(f"no service ledger at {path}")
+    return JobDb(directory)
+
+
+__all__ = ["DB_NAME", "JobDb", "STATES", "open_readonly"]

@@ -1,6 +1,18 @@
 """Small generic utilities shared across the library."""
 
+from repro.util.atomic_write import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.util.intervals import IntervalSet, as_progression
 from repro.util.rng import make_rng
 
-__all__ = ["IntervalSet", "as_progression", "make_rng"]
+__all__ = [
+    "IntervalSet",
+    "as_progression",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "make_rng",
+]

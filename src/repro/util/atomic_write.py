@@ -1,0 +1,63 @@
+"""Atomic file writes: tmp file + fsync + rename.
+
+Three parts of the repo used to hand-roll this dance — the sweep ledger and
+barrier checkpoints (:mod:`repro.harness.checkpoint`), the BENCH baseline
+store (:mod:`repro.obs.baseline`) and the verify report writer — and the
+service's artifact store (:mod:`repro.service`) made a fourth.  This module
+is the one implementation they all share.
+
+The contract: a reader never observes a half-written file.  Either the old
+complete content is still there (the write lost a race with a kill) or the
+new complete content is (the ``os.replace`` happened); the intermediate
+state lives under a ``.tmp`` name the readers never open.  ``fsync`` before
+the rename keeps the promise across power loss on POSIX filesystems, which
+is exactly the property the daemon's crash-resume test leans on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+) -> Path:
+    """Atomically serialize ``payload`` as JSON.
+
+    ``indent=None`` produces the compact separators the ledger files use;
+    pretty-printed callers (BENCH baselines, verify reports) pass
+    ``indent=2``.  A trailing newline is written whenever ``indent`` is set,
+    matching the historical behaviour of every writer this replaced.
+    """
+    if indent is None:
+        text = json.dumps(payload, separators=(",", ":"), sort_keys=sort_keys)
+    else:
+        text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text, encoding="utf-8")
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]

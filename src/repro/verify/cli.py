@@ -30,7 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.cliutil import run_cli
+from repro.cliutil import add_version, run_cli
 from repro.errors import VerifyError
 from repro.harness.runner import run_program
 from repro.harness.variants import build_variants
@@ -42,9 +42,9 @@ DEFAULT_VARIANTS = ("plain", "cachier")
 
 
 def _write_report(path: str, reports: list[dict]) -> None:
-    with open(path, "w", encoding="ascii") as fh:
-        json.dump({"runs": reports}, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    from repro.util.atomic_write import atomic_write_json
+
+    atomic_write_json(path, {"runs": reports}, indent=2, sort_keys=True)
 
 
 def _run_serial(args, policy, workloads, variants) -> int:
@@ -165,6 +165,7 @@ def _main(argv=None) -> int:
                     "checker (SWMR, directory/cache agreement, CICO "
                     "discipline, epoch consistency, event conservation).",
     )
+    add_version(parser, "repro-verify")
     parser.add_argument(
         "--workload", action="append", metavar="NAME",
         help=f"workload(s) to check (default: {' '.join(DEFAULT_WORKLOADS)})",

@@ -52,6 +52,45 @@ class WorkloadSpec:
         }
 
 
+def spec_from_source(
+    text: str,
+    *,
+    name: str = "source",
+    num_nodes: int = 4,
+    cache_size: int = 8192,
+    block_size: int = 32,
+    assoc: int = 4,
+    params: dict | None = None,
+) -> WorkloadSpec:
+    """Build a :class:`WorkloadSpec` from self-describing pseudocode text.
+
+    ``text`` must carry inline ``array`` declarations (the shape
+    ``unparse_program(declarations=True)`` emits).  ``params`` maps node id
+    (int or str) to that node's parameter bindings.  Shared by
+    ``cachier-annotate --source`` and the annotation service, which accepts
+    raw source in submitted jobs.
+    """
+    from repro.lang.parse import parse_program
+
+    per_node: dict[int, dict] = {}
+    param_names: set[str] = set()
+    for node, env in (params or {}).items():
+        per_node[int(node)] = dict(env)
+        param_names |= set(env)
+    program = parse_program(text, arrays=None, params=param_names)
+    return WorkloadSpec(
+        name=name,
+        program=program,
+        params_fn=lambda node: per_node.get(node, {}),
+        config=MachineConfig(
+            num_nodes=num_nodes,
+            cache_size=cache_size,
+            block_size=block_size,
+            assoc=assoc,
+        ),
+    )
+
+
 _REGISTRY: dict[str, Callable[..., WorkloadSpec]] = {}
 
 

@@ -1,0 +1,130 @@
+"""The sqlite ledger: lifecycle, dispositions, recovery, safety rails."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.db import DB_NAME, JobDb, open_readonly
+from repro.service.jobs import list_artifacts
+from repro.service.queue import JobQueue, ServiceConfig
+
+
+def test_lifecycle_and_dispositions(tmp_path):
+    db = JobDb(tmp_path)
+    row, disp = db.submit("k1", "annotate", "{}")
+    assert disp == "new" and row["state"] == "queued" and row["retries"] == 0
+
+    # queued -> coalesced
+    _, disp = db.submit("k1", "annotate", "{}")
+    assert disp == "coalesced"
+
+    claimed = db.claim_next()
+    assert claimed["id"] == row["id"] and claimed["state"] == "running"
+    assert db.claim_next() is None  # nothing else queued
+
+    # running -> coalesced
+    _, disp = db.submit("k1", "annotate", "{}")
+    assert disp == "coalesced"
+
+    db.finish(row["id"], '{"ok": true}')
+    done = db.job(row["id"])
+    assert done["state"] == "done" and done["finished_at"] is not None
+
+    # done -> cached, and still only one row for the key
+    cached, disp = db.submit("k1", "annotate", "{}")
+    assert disp == "cached" and cached["id"] == row["id"]
+    assert len(db.jobs()) == 1
+
+
+def test_failed_keys_are_requeued_not_cached(tmp_path):
+    db = JobDb(tmp_path)
+    row, _ = db.submit("k1", "bench", "{}")
+    db.claim_next()
+    db.fail(row["id"], "BenchError: boom")
+    assert db.job(row["id"])["state"] == "failed"
+
+    fresh, disp = db.submit("k1", "bench", "{}")
+    assert disp == "requeued"
+    assert fresh["state"] == "queued"
+    assert fresh["error"] is None and fresh["result"] is None
+
+
+def test_transitions_require_a_running_row(tmp_path):
+    db = JobDb(tmp_path)
+    row, _ = db.submit("k1", "bench", "{}")
+    with pytest.raises(ServiceError, match="not running"):
+        db.finish(row["id"], "{}")
+    with pytest.raises(ServiceError, match="not running"):
+        db.fail(row["id"], "nope")
+    with pytest.raises(ServiceError, match="no job with id"):
+        db.job(999)
+
+
+def test_recover_requeues_then_abandons(tmp_path):
+    db = JobDb(tmp_path)
+    row, _ = db.submit("k1", "figure6", "{}")
+    for attempt in range(3):
+        db.claim_next()
+        requeued, failed = db.recover(max_retries=3)
+        assert [r["id"] for r in requeued] == [row["id"]] and not failed
+        assert db.job(row["id"])["retries"] == attempt + 1
+    # fourth interrupted attempt crosses max_retries
+    db.claim_next()
+    requeued, failed = db.recover(max_retries=3)
+    assert not requeued and [r["id"] for r in failed] == [row["id"]]
+    assert "abandoned" in db.job(row["id"])["error"]
+
+
+def test_concurrent_submissions_never_duplicate_a_key(tmp_path):
+    db = JobDb(tmp_path)
+    dispositions = []
+    lock = threading.Lock()
+
+    def hammer():
+        r, d = db.submit("k1", "annotate", "{}")
+        with lock:
+            dispositions.append(d)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(dispositions).count("new") == 1
+    assert dispositions.count("coalesced") == 7
+    assert len(db.jobs()) == 1
+
+
+def test_open_readonly_refuses_a_non_service_dir(tmp_path):
+    with pytest.raises(ServiceError, match="no service ledger"):
+        open_readonly(tmp_path)
+    JobDb(tmp_path)  # creates the ledger
+    assert (tmp_path / DB_NAME).exists()
+    assert open_readonly(tmp_path).counts()["queued"] == 0
+
+
+def test_artifact_path_rejects_traversal(tmp_path):
+    queue = JobQueue(ServiceConfig(data_dir=str(tmp_path)))
+    row, _ = queue.db.submit("k1", "annotate", "{}")
+    art = queue.artifact_dir("k1")
+    art.mkdir(parents=True)
+    (art / "report.txt").write_text("hello\n")
+    (tmp_path / "secret.txt").write_text("nope\n")
+
+    assert queue.artifact_path(row["id"], "report.txt").read_text() == "hello\n"
+    with pytest.raises(ServiceError, match="escapes"):
+        queue.artifact_path(row["id"], "../secret.txt")
+    with pytest.raises(ServiceError, match="no artifact"):
+        queue.artifact_path(row["id"], "missing.txt")
+
+
+def test_list_artifacts_skips_tmp_droppings(tmp_path):
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "a.json").write_text("{}")
+    (tmp_path / "obs" / "b.jsonl").write_text("{}")
+    (tmp_path / "a.json.tmp").write_text("partial")
+    assert list_artifacts(str(tmp_path)) == ["a.json", "obs/b.jsonl"]
+    assert list_artifacts(str(tmp_path / "nope")) == []

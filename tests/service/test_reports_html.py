@@ -1,0 +1,131 @@
+"""Dashboard rendering: hostile strings never reach HTML unescaped.
+
+Annotate jobs accept arbitrary client source text, and error messages
+quote whatever broke — every renderer must treat those as text, not
+markup.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.reports import (
+    esc,
+    export_site,
+    heatmap_html,
+    html_table,
+    render_index,
+    render_job,
+)
+
+XSS = '<script>alert("pwned")</script>'
+
+
+def _status():
+    return {
+        "version": "1.0.0",
+        "jobs": {"queued": 0, "running": 0, "done": 1, "failed": 1},
+        "stats": {"cache_hits": 0, "coalesced": 0},
+    }
+
+
+def _payload(**over):
+    payload = {
+        "id": 1, "kind": "annotate", "state": "failed", "retries": 0,
+        "key": "ab" * 32, "submitted_at": 1.0, "started_at": 1.0,
+        "finished_at": 2.0, "error": None, "result": None,
+        "spec": {"kind": "annotate", "workload": "matmul"},
+        "artifacts": [],
+    }
+    payload.update(over)
+    return payload
+
+
+def test_esc_formats_like_the_text_tables():
+    assert esc(1.23456) == "1.235"
+    assert esc("a<b") == "a&lt;b"
+    assert esc('"quoted"') == "&quot;quoted&quot;"
+
+
+def test_html_table_escapes_cells_and_headers():
+    out = html_table([XSS], [[XSS]], title=XSS)
+    assert "<script>" not in out
+    assert out.count("&lt;script&gt;") == 3
+
+
+def test_index_escapes_hostile_job_fields():
+    hostile = _payload(
+        kind=XSS,
+        spec={"kind": "annotate", "source": {"text": "x", "name": XSS}},
+    )
+    out = render_index(_status(), [hostile])
+    assert "<script>" not in out
+    assert "&lt;script&gt;" in out
+
+
+def test_job_page_escapes_error_messages_and_source(tmp_path):
+    # hostile error message
+    out = render_job(_payload(error=f"TraceError: {XSS}"), lambda n: n)
+    assert "<script>" not in out and "&lt;script&gt;" in out
+
+    # hostile annotated source read from the artifact store
+    (tmp_path / "annotated.src").write_text(f"node 0:\n    {XSS}\n")
+    (tmp_path / "annotate.json").write_text(json.dumps(
+        {"name": XSS, "policy": "performance", "annotations": {}}
+    ))
+    payload = _payload(
+        state="done", _artifact_root=str(tmp_path),
+        artifacts=["annotate.json", "annotated.src"],
+    )
+    out = render_job(payload, lambda n: f"../artifacts/k/{n}")
+    assert "<script>" not in out
+    assert "&lt;script&gt;" in out
+    # artifact links are present and escaped
+    assert '<a href="../artifacts/k/annotated.src">' in out
+
+
+def test_heatmap_escapes_structure_names():
+    attrib = {
+        "structures": [{"array": XSS, "misses": 5}],
+        "epochs": [{"epoch": 0, "per_structure": {XSS: 5}, "label": XSS}],
+    }
+    out = heatmap_html(attrib)
+    assert "<script>" not in out and "&lt;script&gt;" in out
+
+
+def test_figure6_sections_render_normalized_and_raw_tables(tmp_path):
+    (tmp_path / "figure6.json").write_text(json.dumps({
+        "benchmarks": ["mp3d"],
+        "rows": {"mp3d": {"plain": 1000, "hand": 800, "cachier": 900}},
+    }))
+    payload = _payload(
+        kind="figure6", state="done", _artifact_root=str(tmp_path),
+        spec={"kind": "figure6", "benchmarks": ["mp3d"]},
+        artifacts=["figure6.json"],
+    )
+    out = render_job(payload, lambda n: n)
+    assert "Figure 6" in out
+    assert "0.900" in out  # cachier normalized to plain
+    assert "paper(cachier)" in out
+    assert ">1000<" in out  # raw cycles table
+
+
+def test_export_site_from_a_real_ledger(tmp_path):
+    from repro.service.db import JobDb
+
+    data = tmp_path / "data"
+    out = tmp_path / "site"
+    db = JobDb(data)
+    row, _ = db.submit("k" * 64, "annotate",
+                       json.dumps({"kind": "annotate", "workload": XSS}))
+    db.claim_next()
+    db.fail(row["id"], f"ParseError: {XSS}")
+
+    written = export_site(str(data), str(out))
+    assert "index.html" in written
+    index = (out / "index.html").read_text()
+    job = (out / "jobs" / "1.html").read_text()
+    for html_text in (index, job):
+        assert "<script>" not in html_text
+        assert "&lt;script&gt;" in html_text
+    assert "ParseError" in job
