@@ -41,6 +41,16 @@ _LAZY = {
     "diff_benches": "repro.obs.baseline",
     "read_bench": "repro.obs.baseline",
     "write_bench": "repro.obs.baseline",
+    "JsonLinesFormatter": "repro.obs.logs",
+    "StructLog": "repro.obs.logs",
+    "bind": "repro.obs.logs",
+    "configure_logging": "repro.obs.logs",
+    "get_logger": "repro.obs.logs",
+    "ServiceTelemetry": "repro.obs.telemetry",
+    "ServiceTracer": "repro.obs.telemetry",
+    "job_phase": "repro.obs.telemetry",
+    "labelled": "repro.obs.telemetry",
+    "prometheus_text": "repro.obs.telemetry",
 }
 
 
@@ -65,6 +75,7 @@ __all__ = [
     "EventKind",
     "Gauge",
     "Histogram",
+    "JsonLinesFormatter",
     "LockEvent",
     "MessageEvent",
     "MetricsError",
@@ -73,14 +84,23 @@ __all__ = [
     "Observation",
     "Observer",
     "RecallEvent",
+    "ServiceTelemetry",
+    "ServiceTracer",
     "SourceMap",
+    "StructLog",
     "TrapEvent",
     "bench_workload",
+    "bind",
     "chrome_trace",
+    "configure_logging",
     "diff_benches",
     "folded_stacks",
+    "get_logger",
+    "job_phase",
+    "labelled",
     "manifest_records",
     "profile_trace",
+    "prometheus_text",
     "read_bench",
     "read_manifest",
     "render_profile",

@@ -1,0 +1,171 @@
+"""Structured JSON logging for the long-running service.
+
+The simulator's observability is event-bus based; the *daemon* around it
+(:mod:`repro.service`) needs ordinary operational logs — but greppable and
+joinable ones.  Every record renders as exactly one JSON object per line::
+
+    {"ts": 1754650000.123456, "level": "INFO", "logger": "repro.service.queue",
+     "event": "job submitted", "correlation": 7, "job": 3, "kind": "annotate",
+     "disposition": "new"}
+
+Three pieces:
+
+* :class:`JsonLinesFormatter` — a stdlib ``logging.Formatter`` that emits
+  the record as canonical JSON (``ts``/``level``/``logger``/``event``
+  first, then bound context, then per-call fields, then ``exc`` with the
+  full traceback when ``exc_info`` is set);
+* :func:`bind` — a context manager attaching correlation fields (job id,
+  request id, ...) to every record logged inside it.  Backed by a
+  ``contextvars.ContextVar``, so worker threads and HTTP handler threads
+  each see only their own bindings;
+* :class:`StructLog` / :func:`get_logger` — a thin wrapper turning keyword
+  arguments into structured fields: ``log.info("job done", job=3)``.
+
+:func:`configure_logging` installs the JSONL handler on the ``repro``
+logger (stderr by default, or a file via ``repro-serve --log-file``).
+Nothing here imports the service — the simulator CLIs can use it too.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import logging
+import sys
+import traceback
+from typing import IO, Iterator
+
+from repro.errors import ObsError
+
+#: log levels accepted by :func:`configure_logging` (stdlib names)
+LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR")
+
+_context: contextvars.ContextVar[dict] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+
+@contextlib.contextmanager
+def bind(**fields) -> Iterator[None]:
+    """Attach ``fields`` to every record logged until the block exits.
+
+    Bindings nest (inner blocks extend outer ones) and are isolated per
+    thread/task, so one worker's job id never leaks into another's lines.
+    """
+    token = _context.set({**_context.get(), **fields})
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def bound_context() -> dict:
+    """The fields currently bound via :func:`bind` (a copy)."""
+    return dict(_context.get())
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render one record as one canonical JSON object on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        out.update(_context.get())
+        fields = getattr(record, "fields", None)
+        if fields:
+            out.update(fields)
+        if record.exc_info:
+            out["exc"] = "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip()
+        return json.dumps(out, default=str, ensure_ascii=True)
+
+
+class StructLog:
+    """Keyword-arguments-to-fields wrapper over a stdlib logger.
+
+    ``log.info("event name", job=3, kind="annotate")`` — the event name
+    stays a stable grep key; everything else is a structured field.
+    """
+
+    def __init__(self, logger: logging.Logger):
+        self.logger = logger
+
+    def _log(self, level: int, event: str, exc_info=False, **fields) -> None:
+        if self.logger.isEnabledFor(level):
+            self.logger.log(
+                level, event, exc_info=exc_info, extra={"fields": fields}
+            )
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, exc_info=False, **fields) -> None:
+        self._log(logging.WARNING, event, exc_info=exc_info, **fields)
+
+    def error(self, event: str, exc_info=False, **fields) -> None:
+        self._log(logging.ERROR, event, exc_info=exc_info, **fields)
+
+    def exception(self, event: str, **fields) -> None:
+        """Log at ERROR with the active exception's traceback attached."""
+        self._log(logging.ERROR, event, exc_info=True, **fields)
+
+
+def get_logger(name: str = "repro.service") -> StructLog:
+    return StructLog(logging.getLogger(name))
+
+
+def configure_logging(
+    level: str = "INFO",
+    stream: IO[str] | None = None,
+    path: str | None = None,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Install (or replace) the JSONL handler on ``logger_name``.
+
+    ``path`` wins over ``stream``; with neither, records go to stderr.
+    Calling again replaces the previously installed handler rather than
+    stacking a second one — re-configuration must not double every line.
+    Returns the installed handler (tests flush/close it).
+    """
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ObsError(
+            f"unknown log level {level!r} (choose from {LOG_LEVELS})"
+        )
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream if stream is not None
+                                        else sys.stderr)
+    handler.setFormatter(JsonLinesFormatter())
+    handler._repro_jsonl = True  # type: ignore[attr-defined]
+    logger = logging.getLogger(logger_name)
+    for old in list(logger.handlers):
+        if getattr(old, "_repro_jsonl", False):
+            logger.removeHandler(old)
+            old.close()
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return handler
+
+
+__all__ = [
+    "JsonLinesFormatter",
+    "LOG_LEVELS",
+    "StructLog",
+    "bind",
+    "bound_context",
+    "configure_logging",
+    "get_logger",
+]

@@ -21,13 +21,18 @@ Layout::
     db.py        sqlite job ledger (repro.sqlite), crash recovery
     jobs.py      job-spec normalization and executors
     queue.py     worker threads draining the ledger
-    reports.py   HTML dashboards (job index, Figure-6 tables, heatmaps,
-                 critpath straggler views), all output HTML-escaped
-    app.py       the HTTP server (JSON API + dashboards)
+    reports.py   HTML dashboards (job index, ops/telemetry page, Figure-6
+                 tables, heatmaps, critpath views), all output HTML-escaped
+    app.py       the HTTP server (JSON API + dashboards + /metrics)
     client.py    python client for the API
     cli.py       ``repro-serve`` and ``repro-client``
 
-See ``docs/service.md`` for the API and job lifecycle.
+Operational telemetry (structured JSONL logs, the Prometheus ``/metrics``
+page, and the daemon-session Chrome trace with submit→persist flow arrows)
+lives in :mod:`repro.obs.logs` and :mod:`repro.obs.telemetry`; the queue
+owns one :class:`~repro.obs.telemetry.ServiceTelemetry` and the HTTP layer
+exposes it.  See ``docs/service.md`` for the API, job lifecycle and the
+telemetry reference.
 """
 
 from repro.service.client import ServiceClient

@@ -8,27 +8,42 @@ API, the CLI client and the tests exercise identical semantics.
 Routes::
 
     GET  /healthz                       liveness probe ("ok")
+    GET  /metrics                       Prometheus text exposition
+    GET  /api/metrics                   the same registry as JSON
+    GET  /api/trace                     daemon-lifetime Chrome trace JSON
     GET  /api/status                    version, queue counts, cache stats
     GET  /api/jobs                      job ledger, newest first
     POST /api/jobs                      submit {"kind": ..., "params": {...}}
     GET  /api/jobs/<id>                 one job (spec, result, artifacts)
     GET  /api/jobs/<id>/artifacts/<p>   one stored artifact's bytes
     GET  /                              HTML dashboard index
+    GET  /ops.html                      live operational telemetry dashboard
     GET  /jobs/<id>.html                HTML job detail
 
 Submission responses carry ``disposition``: ``new`` (queued),
 ``cached`` (content hash already served — stored artifacts, zero simulator
 cycles), ``coalesced`` (an identical job is already in flight) or
 ``requeued`` (a previously failed key, retried).
+
+Every request is instrumented: counted and latency-bucketed into the
+queue's :class:`~repro.obs.telemetry.ServiceTelemetry` under a
+low-cardinality *route template* (``/api/jobs/{id}``, never the raw
+path), recorded as a span in the service Chrome trace, and structured-
+logged (GETs at DEBUG — the client polls — POSTs at INFO).  An exception
+no ``except`` clause claims is logged once with its traceback and mapped
+to a 500, instead of vanishing into ``ThreadingHTTPServer``'s default
+stderr handler.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ServiceError
+from repro.obs.logs import get_logger
 from repro.service.queue import JobQueue
 
 _CONTENT_TYPES = {
@@ -39,16 +54,39 @@ _CONTENT_TYPES = {
     ".src": "text/plain; charset=utf-8",
 }
 
+#: routes the instrumentation templates exactly as written
+_EXACT_ROUTES = frozenset({
+    "/", "/healthz", "/metrics", "/ops.html", "/index.html",
+    "/api/status", "/api/jobs", "/api/metrics", "/api/trace",
+})
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path onto a bounded route vocabulary, so metric
+    label sets stay small no matter what clients ask for."""
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path in _EXACT_ROUTES:
+        return path
+    if path.startswith("/api/jobs/"):
+        if "/artifacts/" in path:
+            return "/api/jobs/{id}/artifacts/{name}"
+        return "/api/jobs/{id}"
+    if path.startswith("/jobs/") and path.endswith(".html"):
+        return "/jobs/{id}.html"
+    return "(other)"
+
 
 class ServiceHandler(BaseHTTPRequestHandler):
     server: "ServiceServer"
 
     # ------------------------------------------------------------ plumbing
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # http.server's own chatter (it logs errors like unreadable
+        # sockets here) goes to the structured log, never raw stderr.
+        self.server.log.debug("http.server: " + (format % args))
 
     def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -67,26 +105,70 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib name
-        try:
-            self._route_get()
-        except ServiceError as exc:
-            self._error(404, str(exc))
-        except ReproError as exc:
-            self._error(500, str(exc))
+        self._instrumented("GET", self._route_get, not_found=404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        self._instrumented("POST", self._route_post, not_found=400)
+
+    def _instrumented(self, method: str, route_fn, not_found: int) -> None:
+        """Dispatch one request with telemetry around it: latency histogram
+        + request counter under the route template, an HTTP span in the
+        service trace (carrying the submission's flow arrow for POSTs that
+        created or joined a job), and a structured log line.  Any exception
+        the route handlers didn't claim is logged exactly once — with the
+        job-free request context and the traceback — and answered 500."""
+        self._status = 0  # _send records the real one
+        self._flow_cid = None  # _route_post records the submission's id
+        telemetry = self.server.queue.telemetry
+        log = self.server.log
+        ts_us = telemetry.tracer.now_us()
+        start = time.monotonic()
         try:
-            self._route_post()
+            route_fn()
         except ServiceError as exc:
-            self._error(400, str(exc))
+            self._error(not_found, str(exc))
         except ReproError as exc:
             self._error(500, str(exc))
+        except Exception as exc:
+            log.exception(
+                "request handler crashed", method=method, path=self.path,
+                error=repr(exc),
+            )
+            try:
+                self._error(500, f"internal error: {exc!r}")
+            except OSError:  # client already hung up
+                pass
+        dur_s = time.monotonic() - start
+        route = route_template(self.path)
+        status = getattr(self, "_status", 0)
+        telemetry.http_request(method, route, status, dur_s)
+        telemetry.tracer.http_span(
+            method, route, status, ts_us, int(dur_s * 1e6),
+            correlation=self._flow_cid,
+        )
+        # the client polls /api/jobs/{id}; keep steady-state INFO quiet
+        emit = log.info if method == "POST" else log.debug
+        emit(
+            "request", method=method, route=route, path=self.path,
+            status=status, dur_ms=round(dur_s * 1e3, 3),
+            **({"correlation": self._flow_cid} if self._flow_cid else {}),
+        )
 
     def _route_get(self) -> None:
         queue = self.server.queue
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send(200, b"ok\n", "text/plain; charset=utf-8")
+        elif path == "/metrics":
+            body = queue.telemetry.prometheus().encode("utf-8")
+            self._send(200, body,
+                       "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/api/metrics":
+            self._json(queue.telemetry.snapshot())
+        elif path == "/api/trace":
+            self._json(queue.telemetry.tracer.chrome_trace(
+                {"source": "repro-serve", "live": True}
+            ))
         elif path == "/api/status":
             self._json(queue.status())
         elif path == "/api/jobs":
@@ -102,6 +184,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._json(queue.job_payload(queue.db.job(int(rest))))
         elif path in ("/", "/index.html"):
             self._dashboard_index()
+        elif path == "/ops.html":
+            self._dashboard_ops()
         elif path.startswith("/jobs/") and path.endswith(".html"):
             self._dashboard_job(int(path[len("/jobs/"):-len(".html")]))
         else:
@@ -121,6 +205,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ServiceError('request body must be {"kind": ..., '
                                '"params": {...}}')
         payload = self.server.queue.submit(body["kind"], body.get("params"))
+        if payload["disposition"] != "cached":
+            # the flow arrow joins this request's span to the job run
+            self._flow_cid = payload["correlation_id"]
         self._json(payload, status=200 if payload["cached"] else 202)
 
     # ---------------------------------------------------------- dashboards
@@ -135,7 +222,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
         queue = self.server.queue
         payloads = [queue.job_payload(row) for row in queue.db.jobs()]
-        self._html(render_index(queue.status(), payloads))
+        self._html(render_index(queue.status(), payloads, ops_link=True))
+
+    def _dashboard_ops(self) -> None:
+        from repro.service.reports import render_ops
+
+        queue = self.server.queue
+        self._html(render_ops(queue.status(), queue.telemetry.snapshot()))
 
     def _dashboard_job(self, job_id: int) -> None:
         from repro.service.reports import render_job
@@ -160,6 +253,14 @@ class ServiceServer(ThreadingHTTPServer):
         super().__init__(address, ServiceHandler)
         self.queue = queue
         self.verbose = verbose
+        self.log = get_logger("repro.service.http")
+
+    def handle_error(self, request, client_address) -> None:
+        # socketserver's default prints a traceback to stderr; keep even
+        # transport-level failures (client hangups mid-write) structured
+        self.log.warning(
+            "connection error", client=str(client_address), exc_info=True,
+        )
 
 
 def serve(queue: JobQueue, host: str = "127.0.0.1", port: int = 0,
@@ -185,4 +286,10 @@ def serve_background(queue: JobQueue, host: str = "127.0.0.1",
     return server, thread
 
 
-__all__ = ["ServiceHandler", "ServiceServer", "serve", "serve_background"]
+__all__ = [
+    "ServiceHandler",
+    "ServiceServer",
+    "route_template",
+    "serve",
+    "serve_background",
+]

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.cliutil import add_version, package_version, run_cli
 from repro.errors import ServiceError
+from repro.obs.logs import LOG_LEVELS
 
 SERVICE_FILE = "service.json"
 
@@ -46,13 +47,28 @@ def _serve(argv: Sequence[str] | None) -> int:
     parser.add_argument("--max-retries", type=int, default=3,
                         help="interrupted attempts before a job is abandoned")
     parser.add_argument("--verbose", action="store_true",
-                        help="log every HTTP request")
+                        help="log every HTTP request (DEBUG shorthand)")
+    parser.add_argument("--log-file",
+                        help="write JSONL logs here instead of stderr")
+    parser.add_argument("--log-level", default="INFO", choices=LOG_LEVELS,
+                        help="structured log threshold (default INFO)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="turn off service metrics and tracing "
+                        "(structured logs stay on)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the daemon-session Chrome trace here on "
+                        "shutdown (default <data-dir>/service.trace.json)")
     add_version(parser, "repro-serve")
     args = parser.parse_args(argv)
 
+    from repro.obs.logs import configure_logging, get_logger
     from repro.service.app import serve
     from repro.service.queue import JobQueue, ServiceConfig
     from repro.util.atomic_write import atomic_write_json
+
+    level = "DEBUG" if args.verbose else args.log_level
+    configure_logging(level=level, path=args.log_file)
+    log = get_logger("repro.service")
 
     data_dir = Path(args.data_dir)
     data_dir.mkdir(parents=True, exist_ok=True)
@@ -62,6 +78,7 @@ def _serve(argv: Sequence[str] | None) -> int:
         pool_jobs=args.pool_jobs,
         verify_default=not args.no_verify,
         max_retries=args.max_retries,
+        telemetry=not args.no_telemetry,
     ))
     server = serve(queue, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -71,8 +88,15 @@ def _serve(argv: Sequence[str] | None) -> int:
         {"url": url, "pid": os.getpid(), "version": package_version()},
         indent=2, sort_keys=True,
     )
-    print(f"repro-serve: listening on {url} "
-          f"(data dir {data_dir})", file=sys.stderr, flush=True)
+    if args.log_file:
+        # keep the one human-facing line on stderr when logs go to a file
+        print(f"repro-serve: listening on {url} "
+              f"(data dir {data_dir})", file=sys.stderr, flush=True)
+    log.info(
+        "daemon listening", url=url, data_dir=str(data_dir),
+        workers=queue.config.workers, telemetry=queue.telemetry.enabled,
+        log_level=level,
+    )
 
     def _shutdown(signum, frame):
         raise KeyboardInterrupt
@@ -82,10 +106,21 @@ def _serve(argv: Sequence[str] | None) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro-serve: shutting down", file=sys.stderr, flush=True)
+        log.info("daemon shutting down")
     finally:
         server.shutdown()
         queue.stop()
+        if queue.telemetry.enabled:
+            trace_path = Path(args.trace_out or
+                              data_dir / "service.trace.json")
+            atomic_write_json(
+                trace_path,
+                queue.telemetry.tracer.chrome_trace({
+                    "url": url, "data_dir": str(data_dir),
+                    "version": package_version(),
+                }),
+            )
+            log.info("service trace written", path=str(trace_path))
     return 0
 
 
@@ -129,6 +164,71 @@ def _dump(payload) -> None:
     sys.stdout.write("\n")
 
 
+def _render_top(status: dict, metrics: dict) -> str:
+    """``repro-client top``: the ops dashboard as fixed-width tables."""
+    from repro.harness.reporting import render_table
+    from repro.obs.telemetry import family_counts, snapshot_quantile
+
+    jobs = status["jobs"]
+    stats = status["stats"]
+    parts = [
+        f"repro-serve v{status['version']}  "
+        f"uptime {status['uptime_s']:.1f}s  "
+        f"workers {status['workers']}  "
+        f"telemetry {'on' if status.get('telemetry') else 'off'}",
+        "",
+        render_table(
+            ["queued", "running", "done", "failed"],
+            [[jobs[s] for s in ("queued", "running", "done", "failed")]],
+            title="ledger",
+        ),
+        render_table(
+            list(stats), [list(stats.values())], title="since start",
+        ),
+    ]
+    snap = metrics.get("metrics") or {}
+    if snap:
+        def quantiles(hist):
+            return [
+                "-" if (q := snapshot_quantile(hist, frac)) is None else q
+                for frac in (0.5, 0.9, 0.99)
+            ]
+
+        job_rows = [
+            [labels.split('"')[1], hist["count"], *quantiles(hist)]
+            for labels, hist in sorted(
+                family_counts(snap, "service.job.latency_ms").items()
+            )
+        ]
+        if job_rows:
+            parts.append(render_table(
+                ["kind", "jobs", "p50_ms", "p90_ms", "p99_ms"], job_rows,
+                title="job latency",
+            ))
+        http_rows = [
+            [labels.split('"')[1], hist["count"], *quantiles(hist)]
+            for labels, hist in sorted(
+                family_counts(snap, "service.http.latency_us").items()
+            )
+        ]
+        if http_rows:
+            parts.append(render_table(
+                ["route", "requests", "p50_us", "p90_us", "p99_us"],
+                http_rows, title="http latency",
+            ))
+        counter_rows = [
+            [f"{family}{{{labels}}}" if labels else family, value]
+            for family in ("service.submissions", "service.jobs.completed",
+                           "service.jobs.retries")
+            for labels, value in sorted(family_counts(snap, family).items())
+        ]
+        parts.append(render_table(["counter", "value"], counter_rows,
+                                  title="counters"))
+    else:
+        parts.append("(telemetry disabled: no metrics to show)")
+    return "\n\n".join(parts) + "\n"
+
+
 def _client(argv: Sequence[str] | None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-client",
@@ -158,6 +258,8 @@ def _client(argv: Sequence[str] | None) -> int:
 
     sub.add_parser("list", help="print the job ledger")
     sub.add_parser("status", help="print daemon status")
+    sub.add_parser("top", help="one-shot terminal snapshot of the daemon's "
+                   "operational telemetry")
 
     p = sub.add_parser("artifact", help="fetch one artifact's bytes")
     p.add_argument("id", type=int)
@@ -202,6 +304,9 @@ def _client(argv: Sequence[str] | None) -> int:
         return 0
     if args.command == "status":
         _dump(client.status())
+        return 0
+    if args.command == "top":
+        sys.stdout.write(_render_top(client.status(), client.metrics()))
         return 0
     if args.command == "artifact":
         data = client.artifact(args.id, args.name)

@@ -67,6 +67,18 @@ class ServiceClient:
     def status(self) -> dict:
         return self._json("/api/status")
 
+    def metrics(self) -> dict:
+        """The telemetry registry as JSON (``/api/metrics``)."""
+        return self._json("/api/metrics")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition page (``GET /metrics``)."""
+        return self._request("/metrics").decode("utf-8")
+
+    def trace(self) -> dict:
+        """The daemon's live Chrome trace (``/api/trace``)."""
+        return self._json("/api/trace")
+
     def submit(self, kind: str, params: dict | None = None) -> dict:
         """Submit one job; the response carries ``disposition`` and
         ``cached`` (True when the content hash was already served)."""

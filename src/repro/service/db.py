@@ -70,6 +70,10 @@ class JobDb:
             conn = self._conn()
             conn.executescript(_SCHEMA)
             conn.commit()
+            # Per-state counts are maintained incrementally from here on
+            # (one full scan at open, O(1) on every transition) so the
+            # status endpoint's polling never rescans the ledger.
+            self._counts = self._scan_counts()
 
     def _conn(self) -> sqlite3.Connection:
         conn = getattr(self._local, "conn", None)
@@ -86,6 +90,14 @@ class JobDb:
         if conn is not None:
             conn.close()
             self._local.conn = None
+
+    def _count_move(self, old: str | None, new: str | None) -> None:
+        """Shift one row between per-state tallies (callers hold the lock
+        and have already committed the matching sqlite transition)."""
+        if old is not None:
+            self._counts[old] -= 1
+        if new is not None:
+            self._counts[new] += 1
 
     # ------------------------------------------------------------- writes
     def submit(self, key: str, kind: str, spec_json: str) -> tuple[dict, str]:
@@ -108,6 +120,7 @@ class JobDb:
                     (key, kind, spec_json, time.time()),
                 )
                 conn.commit()
+                self._count_move(None, "queued")
                 fresh = conn.execute(
                     "SELECT * FROM jobs WHERE key = ?", (key,)
                 ).fetchone()
@@ -124,6 +137,7 @@ class JobDb:
                 (time.time(), row["id"]),
             )
             conn.commit()
+            self._count_move("failed", "queued")
             fresh = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (row["id"],)
             ).fetchone()
@@ -144,6 +158,7 @@ class JobDb:
                 (time.time(), row["id"]),
             )
             conn.commit()
+            self._count_move("queued", "running")
             claimed = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (row["id"],)
             ).fetchone()
@@ -168,6 +183,7 @@ class JobDb:
                 raise ServiceError(
                     f"job {job_id} is not running; cannot move it to {state}"
                 )
+            self._count_move("running", state)
 
     def recover(self, max_retries: int = 3) -> tuple[list[dict], list[dict]]:
         """Startup crash recovery: requeue jobs a dead daemon left
@@ -192,6 +208,7 @@ class JobDb:
                             row["id"],
                         ),
                     )
+                    self._count_move("running", "failed")
                     failed.append(_row_dict(row))
                 else:
                     conn.execute(
@@ -199,6 +216,7 @@ class JobDb:
                         " started_at=NULL WHERE id=?",
                         (row["id"],),
                     )
+                    self._count_move("running", "queued")
                     requeued.append(_row_dict(row))
             conn.commit()
         return requeued, failed
@@ -229,6 +247,19 @@ class JobDb:
         return [_row_dict(r) for r in self._conn().execute(sql, args)]
 
     def counts(self) -> dict[str, int]:
+        """Per-state row counts, O(1): maintained incrementally on every
+        transition (seeded by one scan at open).  ``/api/status`` polls
+        this; :meth:`counts_scan` is the ground truth it must match."""
+        with self._lock:
+            return dict(self._counts)
+
+    def counts_scan(self) -> dict[str, int]:
+        """Per-state counts recomputed by a full table scan — the
+        reconciliation oracle for :meth:`counts` (tests assert equality)."""
+        with self._lock:
+            return self._scan_counts()
+
+    def _scan_counts(self) -> dict[str, int]:
         out = {state: 0 for state in STATES}
         for row in self._conn().execute(
             "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"

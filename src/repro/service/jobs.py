@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import ServiceError, VerifyError
+from repro.obs.telemetry import job_phase
 from repro.util.atomic_write import atomic_write_json, atomic_write_text
 
 KINDS = ("annotate", "figure6", "bench", "profile", "critpath", "verify")
@@ -206,22 +207,21 @@ def _exec_annotate(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
     from repro.lang.unparse import unparse_program
 
     wspec = _annotate_spec(spec)
-    trace = trace_program(
-        wspec.program, wspec.config, wspec.params_fn, verify=spec["verify"]
-    )
-    cachier = Cachier(
-        wspec.program, trace, params_fn=wspec.params_fn,
-        cache_size=wspec.cachier_cache_size,
-    )
-    result = cachier.annotate(
-        Policy(spec["policy"]), prefetch=spec["prefetch"],
-        history=spec["history"],
-    )
-    annotated = unparse_program(result.program, declarations=True)
-    atomic_write_text(os.path.join(artifact_dir, "annotated.src"), annotated)
-    atomic_write_text(
-        os.path.join(artifact_dir, "report.txt"), result.report.render()
-    )
+    with job_phase("simulate", verify=spec["verify"]):
+        trace = trace_program(
+            wspec.program, wspec.config, wspec.params_fn,
+            verify=spec["verify"],
+        )
+    with job_phase("annotate", policy=spec["policy"]):
+        cachier = Cachier(
+            wspec.program, trace, params_fn=wspec.params_fn,
+            cache_size=wspec.cachier_cache_size,
+        )
+        result = cachier.annotate(
+            Policy(spec["policy"]), prefetch=spec["prefetch"],
+            history=spec["history"],
+        )
+        annotated = unparse_program(result.program, declarations=True)
     stats = result.stats
     summary = {
         "name": wspec.name,
@@ -235,10 +235,17 @@ def _exec_annotate(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
             "comments": stats.comments,
         },
     }
-    atomic_write_json(
-        os.path.join(artifact_dir, "annotate.json"), summary,
-        indent=2, sort_keys=True,
-    )
+    with job_phase("persist"):
+        atomic_write_text(
+            os.path.join(artifact_dir, "annotated.src"), annotated
+        )
+        atomic_write_text(
+            os.path.join(artifact_dir, "report.txt"), result.report.render()
+        )
+        atomic_write_json(
+            os.path.join(artifact_dir, "annotate.json"), summary,
+            indent=2, sort_keys=True,
+        )
     return summary
 
 
@@ -250,30 +257,32 @@ def _exec_figure6(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
     obs_dir = os.path.join(artifact_dir, "obs")
     # resume=True: a requeued job picks up where the interrupted sweep's
     # ledger left off; on a fresh job the ledger simply does not exist yet.
-    sweep = sweep_figure6(
-        tuple(spec["benchmarks"]),
-        include_prefetch=spec["include_prefetch"],
-        policy=Policy(spec["policy"]),
-        obs_dir=obs_dir,
-        faults_seed=spec["faults"],
-        verify=spec["verify"],
-        checkpoint_dir=artifact_dir,
-        resume=True,
-        jobs=ctx.pool_jobs,
-    )
+    with job_phase("sweep", benchmarks=",".join(spec["benchmarks"])):
+        sweep = sweep_figure6(
+            tuple(spec["benchmarks"]),
+            include_prefetch=spec["include_prefetch"],
+            policy=Policy(spec["policy"]),
+            obs_dir=obs_dir,
+            faults_seed=spec["faults"],
+            verify=spec["verify"],
+            checkpoint_dir=artifact_dir,
+            resume=True,
+            jobs=ctx.pool_jobs,
+        )
     if sweep.errors:
         raise summarize_failures(
             sweep.errors,
             total=len(sweep.errors) + sum(len(r.cycles) for r in sweep.rows),
         )
-    table = render_figure6(sweep.rows)
-    atomic_write_text(os.path.join(artifact_dir, "figure6.txt"), table)
     rows = {row.benchmark: dict(row.cycles) for row in sweep.rows}
-    atomic_write_json(
-        os.path.join(artifact_dir, "figure6.json"),
-        {"rows": rows, "benchmarks": spec["benchmarks"]},
-        indent=2, sort_keys=True,
-    )
+    with job_phase("persist"):
+        table = render_figure6(sweep.rows)
+        atomic_write_text(os.path.join(artifact_dir, "figure6.txt"), table)
+        atomic_write_json(
+            os.path.join(artifact_dir, "figure6.json"),
+            {"rows": rows, "benchmarks": spec["benchmarks"]},
+            indent=2, sort_keys=True,
+        )
     return {"benchmarks": spec["benchmarks"], "rows": rows}
 
 
@@ -283,8 +292,10 @@ def _exec_bench(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
     kwargs = {}
     if spec["variants"]:
         kwargs["variants"] = tuple(spec["variants"])
-    bench = bench_workload(spec["workload"], **kwargs)
-    path = write_bench(bench, artifact_dir)
+    with job_phase("simulate", workload=spec["workload"]):
+        bench = bench_workload(spec["workload"], **kwargs)
+    with job_phase("persist"):
+        path = write_bench(bench, artifact_dir)
     return {
         "workload": spec["workload"],
         "bench_file": os.path.basename(path),
@@ -323,11 +334,13 @@ def _observed_run(spec: dict, *, profile: bool, critpath: bool):
 
 
 def _exec_profile(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
-    result, obs = _observed_run(spec, profile=True, critpath=False)
-    atomic_write_json(
-        os.path.join(artifact_dir, "attrib.json"), obs.attrib,
-        indent=2, sort_keys=True,
-    )
+    with job_phase("simulate", workload=spec["workload"]):
+        result, obs = _observed_run(spec, profile=True, critpath=False)
+    with job_phase("persist"):
+        atomic_write_json(
+            os.path.join(artifact_dir, "attrib.json"), obs.attrib,
+            indent=2, sort_keys=True,
+        )
     hot = [r["array"] for r in obs.attrib["structures"][:3] if r["misses"]]
     return {
         "cycles": result.cycles,
@@ -337,11 +350,13 @@ def _exec_profile(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
 
 
 def _exec_critpath(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
-    result, obs = _observed_run(spec, profile=False, critpath=True)
-    atomic_write_json(
-        os.path.join(artifact_dir, "critpath.json"), obs.critpath,
-        indent=2, sort_keys=True,
-    )
+    with job_phase("simulate", workload=spec["workload"]):
+        result, obs = _observed_run(spec, profile=False, critpath=True)
+    with job_phase("persist"):
+        atomic_write_json(
+            os.path.join(artifact_dir, "critpath.json"), obs.critpath,
+            indent=2, sort_keys=True,
+        )
     return {
         "cycles": result.cycles,
         "critical_path_fraction": obs.critpath["critical_path_fraction"],
@@ -352,24 +367,27 @@ def _exec_critpath(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
 def _exec_verify(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
     label = f"{spec['workload']}/{spec['variant']}"
     try:
-        result, _ = _observed_run(spec, profile=False, critpath=False)
+        with job_phase("verify", label=label):
+            result, _ = _observed_run(spec, profile=False, critpath=False)
     except VerifyError as exc:
         report = getattr(exc, "report", None)
         payload = (
             report.as_dict() if report is not None
             else {"label": label, "ok": False, "error": str(exc)}
         )
-        atomic_write_json(
-            os.path.join(artifact_dir, "verify.json"), payload,
-            indent=2, sort_keys=True,
-        )
+        with job_phase("persist"):
+            atomic_write_json(
+                os.path.join(artifact_dir, "verify.json"), payload,
+                indent=2, sort_keys=True,
+            )
         return {"ok": False, "label": label,
                 "error": str(exc).splitlines()[0]}
     report = result.extra["verify_report"]
-    atomic_write_json(
-        os.path.join(artifact_dir, "verify.json"), report.as_dict(),
-        indent=2, sort_keys=True,
-    )
+    with job_phase("persist"):
+        atomic_write_json(
+            os.path.join(artifact_dir, "verify.json"), report.as_dict(),
+            indent=2, sort_keys=True,
+        )
     return {
         "ok": True,
         "label": label,

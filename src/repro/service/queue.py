@@ -27,13 +27,14 @@ byte-identical to an uninterrupted run's.
 from __future__ import annotations
 
 import json
-import sys
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError, ServiceError
+from repro.obs.logs import bind, get_logger
+from repro.obs.telemetry import ServiceTelemetry
 from repro.service.db import JobDb
 from repro.service.hashing import job_key
 from repro.service.jobs import (
@@ -58,6 +59,9 @@ class ServiceConfig:
     #: how many interrupted attempts before a job is abandoned
     max_retries: int = 3
     poll_interval: float = 0.05
+    #: service metrics + tracing (``repro-serve --no-telemetry`` turns the
+    #: collectors into no-ops; structured logging is independent of this)
+    telemetry: bool = True
 
 
 @dataclass
@@ -98,20 +102,32 @@ class JobQueue:
         self.artifacts_root.mkdir(parents=True, exist_ok=True)
         self.stats = QueueStats()
         self.started_at = time.time()
+        self.telemetry = ServiceTelemetry(enabled=config.telemetry)
+        self.log = get_logger("repro.service.queue")
         self._stop = threading.Event()
         self._workers: list[threading.Thread] = []
         self._ctx = ExecContext(pool_jobs=config.pool_jobs)
+        # submissions whose flow arrow still awaits its job run: job id ->
+        # correlation ids (new/coalesced/requeued; cached hits never flow)
+        self._flow_lock = threading.Lock()
+        self._pending_flows: dict[int, list[int]] = {}
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
         """Recover interrupted jobs, then start the worker threads."""
         requeued, abandoned = self.db.recover(self.config.max_retries)
         for row in requeued:
-            self._log(f"recovered job {row['id']} ({row['kind']}) -> queued "
-                      f"(attempt {row['retries'] + 1})")
+            self.log.warning(
+                "job recovered", job=row["id"], kind=row["kind"],
+                attempt=row["retries"] + 1,
+            )
+            self.telemetry.retry()
         for row in abandoned:
-            self._log(f"abandoned job {row['id']} ({row['kind']}) after "
-                      f"{row['retries']} interrupted attempts")
+            self.log.error(
+                "job abandoned", job=row["id"], kind=row["kind"],
+                retries=row["retries"],
+            )
+        self.telemetry.set_queue_gauges(self.db.counts())
         for i in range(max(1, self.config.workers)):
             worker = threading.Thread(
                 target=self._worker_loop, name=f"repro-worker-{i}",
@@ -150,6 +166,7 @@ class JobQueue:
         row, disposition = self.db.submit(
             key, kind, json.dumps(spec, sort_keys=True)
         )
+        correlation = self.telemetry.next_id()
         self.stats.bump("submitted")
         if disposition == "cached":
             self.stats.bump("cache_hits")
@@ -157,9 +174,23 @@ class JobQueue:
             self.stats.bump("coalesced")
         elif disposition == "requeued":
             self.stats.bump("requeued")
+        if disposition != "cached":
+            with self._flow_lock:
+                self._pending_flows.setdefault(row["id"], []).append(
+                    correlation
+                )
+        self.telemetry.submission(disposition)
+        if disposition == "requeued":
+            self.telemetry.retry()
+        self.telemetry.set_queue_gauges(self.db.counts())
+        self.log.info(
+            "job submitted", correlation=correlation, job=row["id"],
+            kind=kind, disposition=disposition, key=row["key"][:12],
+        )
         payload = self.job_payload(row)
         payload["disposition"] = disposition
         payload["cached"] = disposition == "cached"
+        payload["correlation_id"] = correlation
         return payload
 
     def job_payload(self, row: dict) -> dict:
@@ -200,6 +231,7 @@ class JobQueue:
             "workers": len(self._workers),
             "pool_jobs": self.config.pool_jobs,
             "verify_default": self.config.verify_default,
+            "telemetry": self.telemetry.enabled,
             "jobs": self.db.counts(),
             "stats": self.stats.as_dict(),
         }
@@ -216,28 +248,47 @@ class JobQueue:
     def _execute_row(self, row: dict) -> None:
         spec = json.loads(row["spec"])
         artifact_dir = str(self.artifact_dir(row["key"]))
+        with self._flow_lock:
+            correlations = self._pending_flows.pop(row["id"], [])
+        self.telemetry.set_queue_gauges(self.db.counts())
+        started = time.monotonic()
+        with bind(job=row["id"], kind=row["kind"]):
+            self.log.info("job started", attempt=row["retries"] + 1)
+            with self.telemetry.tracer.run_job(
+                row["id"], row["kind"], row["submitted_at"],
+                row["started_at"] or time.time(), correlations,
+            ):
+                outcome = self._execute_inner(row, spec, artifact_dir)
+            self.telemetry.job_finished(
+                row["kind"], outcome, time.monotonic() - started
+            )
+        self.telemetry.set_queue_gauges(self.db.counts())
+
+    def _execute_inner(self, row: dict, spec: dict,
+                       artifact_dir: str) -> str:
+        """Run the executor and record the outcome; returns the outcome
+        label (``ok`` / ``failed`` / ``error``) for the metrics."""
         try:
             result = execute_job(spec, artifact_dir, self._ctx)
         except ReproError as exc:
             first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
             self.db.fail(row["id"], f"{type(exc).__name__}: {first}")
             self.stats.bump("failed")
-            self._log(f"job {row['id']} ({row['kind']}) failed: {first}")
-            return
+            # the one place a job failure is logged: id, error and the full
+            # traceback as a structured field
+            self.log.error("job failed", error=first,
+                           error_type=type(exc).__name__, exc_info=True)
+            return "failed"
         except Exception as exc:  # programming error: record it loudly,
             # keep the daemon alive for the other jobs
             self.db.fail(row["id"], f"internal error: {exc!r}")
             self.stats.bump("failed")
-            self._log(f"job {row['id']} ({row['kind']}) hit an internal "
-                      f"error: {exc!r}")
-            return
+            self.log.exception("job internal error", error=repr(exc))
+            return "error"
         self.db.finish(row["id"], json.dumps(result, sort_keys=True))
         self.stats.bump("executed")
-        self._log(f"job {row['id']} ({row['kind']}) done")
-
-    @staticmethod
-    def _log(message: str) -> None:
-        print(f"repro-serve: {message}", file=sys.stderr, flush=True)
+        self.log.info("job done")
+        return "ok"
 
 
 __all__ = ["ARTIFACTS_DIR", "JobQueue", "QueueStats", "ServiceConfig"]

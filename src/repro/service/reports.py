@@ -124,8 +124,10 @@ def _duration(row: dict) -> object:
 
 
 # ------------------------------------------------------------------ index
-def render_index(status: dict, jobs: list[dict]) -> str:
-    """The dashboard landing page."""
+def render_index(status: dict, jobs: list[dict],
+                 ops_link: bool = False) -> str:
+    """The dashboard landing page.  ``ops_link`` adds the link to the live
+    ops page (the static export has no live telemetry to link to)."""
     tiles = []
     for label, value in [
         ("version", status.get("version", "?")),
@@ -157,10 +159,15 @@ def render_index(status: dict, jobs: list[dict]) -> str:
 
     body = [
         "<h1>repro.service — annotation as a service</h1>",
+    ]
+    if ops_link:
+        body.append('<p><a href="/ops.html">operational telemetry</a> &middot;'
+                    ' <a href="/metrics">/metrics</a></p>')
+    body.extend([
         '<div class="tiles">' + "".join(tiles) + "</div>",
         html_table(headers, rows, title="job ledger (newest first)",
                    cell_html=cell),
-    ]
+    ])
     return page("repro.service dashboard", "\n".join(body))
 
 
@@ -175,6 +182,84 @@ def _job_subject(job: dict) -> str:
     if spec.get("variant"):
         what += f"/{spec['variant']}"
     return what
+
+
+# --------------------------------------------------------------- ops page
+def render_ops(status: dict, metrics: dict) -> str:
+    """The live operational-telemetry page (``/ops.html``).
+
+    Rendered from exactly what ``/api/status`` and ``/api/metrics`` serve,
+    so the HTML view, ``repro-client top`` and a Prometheus scrape can
+    never disagree about the numbers.
+    """
+    from repro.obs.telemetry import family_counts, snapshot_quantile
+
+    jobs = status["jobs"]
+    stats = status["stats"]
+    tiles = []
+    for label, value in [
+        ("uptime (s)", status.get("uptime_s", "-")),
+        ("workers", status.get("workers", "-")),
+        ("queued", jobs["queued"]),
+        ("running", jobs["running"]),
+        ("submitted", stats["submitted"]),
+        ("cache hits", stats["cache_hits"]),
+        ("failed", stats["failed"]),
+    ]:
+        tiles.append(
+            f'<div class="tile"><div class="big">{esc(value)}</div>'
+            f"<div>{esc(label)}</div></div>"
+        )
+    body = [
+        "<h1>repro.service — operational telemetry</h1>",
+        '<p><a href="/">&larr; job index</a> &middot; '
+        '<a href="/metrics">/metrics</a> (Prometheus) &middot; '
+        '<a href="/api/metrics">/api/metrics</a> (JSON) &middot; '
+        '<a href="/api/trace">/api/trace</a> (Chrome trace)</p>',
+        '<div class="tiles">' + "".join(tiles) + "</div>",
+    ]
+    snap = metrics.get("metrics") or {}
+    if not snap:
+        body.append("<p>Telemetry is disabled "
+                    "(<code>repro-serve --no-telemetry</code>).</p>")
+        return page("repro.service ops", "\n".join(body))
+
+    def first_label(labels: str) -> str:
+        return labels.split('"')[1] if '"' in labels else labels
+
+    def quantiles(hist: dict) -> list[object]:
+        out: list[object] = []
+        for frac in (0.5, 0.9, 0.99):
+            q = snapshot_quantile(hist, frac)
+            out.append("-" if q is None else q)
+        return out
+
+    job_hists = family_counts(snap, "service.job.latency_ms")
+    if any(h["count"] for h in job_hists.values()):
+        body.append(html_table(
+            ["kind", "jobs", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"],
+            [[first_label(labels), hist["count"], *quantiles(hist),
+              hist["max"]]
+             for labels, hist in sorted(job_hists.items())],
+            title="job execution latency",
+        ))
+    http_hists = family_counts(snap, "service.http.latency_us")
+    if http_hists:
+        body.append(html_table(
+            ["route", "requests", "p50 (µs)", "p90 (µs)", "p99 (µs)"],
+            [[first_label(labels), hist["count"], *quantiles(hist)]
+             for labels, hist in sorted(http_hists.items())],
+            title="HTTP request latency",
+        ))
+    counter_rows = []
+    for family in ("service.submissions", "service.jobs.completed",
+                   "service.jobs.retries"):
+        for labels, value in sorted(family_counts(snap, family).items()):
+            name = f"{family}{{{labels}}}" if labels else family
+            counter_rows.append([name, value])
+    body.append(html_table(["counter", "value"], counter_rows,
+                           title="counters"))
+    return page("repro.service ops", "\n".join(body))
 
 
 # -------------------------------------------------------------- job pages
@@ -527,4 +612,5 @@ __all__ = [
     "page",
     "render_index",
     "render_job",
+    "render_ops",
 ]

@@ -1,0 +1,136 @@
+"""Structured JSONL logging: one JSON object per line, bound context,
+tracebacks as fields, idempotent (re)configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.logs import (
+    JsonLinesFormatter,
+    bind,
+    bound_context,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture()
+def capture():
+    """A throwaway logger wired to an in-memory JSONL stream."""
+    stream = io.StringIO()
+    name = "repro.test_logs"
+    handler = configure_logging(level="DEBUG", stream=stream,
+                                logger_name=name)
+    yield get_logger(name), stream
+    logging.getLogger(name).removeHandler(handler)
+
+
+def lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_every_record_is_one_json_line(capture):
+    log, stream = capture
+    log.info("job submitted", job=3, kind="annotate", disposition="new")
+    log.warning("job recovered", job=4)
+    out = lines(stream)
+    assert [rec["event"] for rec in out] == ["job submitted", "job recovered"]
+    first = out[0]
+    assert first["level"] == "INFO"
+    assert first["logger"] == "repro.test_logs"
+    assert (first["job"], first["kind"]) == (3, "annotate")
+    assert isinstance(first["ts"], float)
+
+
+def test_bind_nests_and_is_thread_isolated(capture):
+    log, stream = capture
+    with bind(job=1):
+        with bind(kind="bench", job=2):  # inner wins, outer restored
+            assert bound_context() == {"job": 2, "kind": "bench"}
+            log.info("inner")
+        log.info("outer")
+
+        def other_thread():
+            log.info("elsewhere")  # must not see this thread's bindings
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+    log.info("after")
+    inner, outer, elsewhere, after = lines(stream)
+    assert (inner["job"], inner["kind"]) == (2, "bench")
+    assert outer["job"] == 1 and "kind" not in outer
+    assert "job" not in elsewhere
+    assert "job" not in after
+
+
+def test_exceptions_carry_the_traceback(capture):
+    log, stream = capture
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        log.exception("job failed", job=9)
+    (rec,) = lines(stream)
+    assert rec["level"] == "ERROR" and rec["job"] == 9
+    assert "ValueError: boom" in rec["exc"]
+    assert "Traceback" in rec["exc"]
+
+
+def test_non_serializable_fields_degrade_to_str(capture):
+    log, stream = capture
+    log.info("weird", obj=object(), path=pytest)
+    (rec,) = lines(stream)  # json.dumps(default=str): never raises
+    assert "object object" in rec["obj"]
+
+
+def test_reconfigure_replaces_the_handler_not_stacks_it():
+    name = "repro.test_logs_reconf"
+    first = io.StringIO()
+    second = io.StringIO()
+    configure_logging(level="INFO", stream=first, logger_name=name)
+    handler = configure_logging(level="INFO", stream=second,
+                                logger_name=name)
+    get_logger(name).info("once")
+    assert first.getvalue() == ""  # old handler was removed
+    assert len(lines(second)) == 1
+    assert [h for h in logging.getLogger(name).handlers
+            if getattr(h, "_repro_jsonl", False)] == [handler]
+    logging.getLogger(name).removeHandler(handler)
+
+
+def test_log_file_handler(tmp_path):
+    name = "repro.test_logs_file"
+    path = tmp_path / "serve.jsonl"
+    handler = configure_logging(level="INFO", path=str(path),
+                                logger_name=name)
+    log = get_logger(name)
+    log.debug("dropped")  # below threshold
+    log.info("kept", job=1)
+    handler.flush()
+    records = [json.loads(line) for line in
+               path.read_text(encoding="utf-8").splitlines()]
+    assert [r["event"] for r in records] == ["kept"]
+    logging.getLogger(name).removeHandler(handler)
+    handler.close()
+
+
+def test_unknown_level_is_an_obs_error():
+    with pytest.raises(ObsError, match="unknown log level"):
+        configure_logging(level="LOUD")
+
+
+def test_formatter_orders_context_then_fields():
+    formatter = JsonLinesFormatter()
+    record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                               "event name", None, None)
+    record.fields = {"job": 7}
+    with bind(request=3):
+        out = json.loads(formatter.format(record))
+    assert out["event"] == "event name"
+    assert out["request"] == 3 and out["job"] == 7

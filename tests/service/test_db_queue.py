@@ -98,6 +98,52 @@ def test_concurrent_submissions_never_duplicate_a_key(tmp_path):
     assert len(db.jobs()) == 1
 
 
+def test_incremental_counts_match_a_full_scan_at_every_step(tmp_path):
+    db = JobDb(tmp_path)
+
+    def reconciled():
+        counts = db.counts()
+        assert counts == db.counts_scan()
+        return counts
+
+    assert reconciled() == {"queued": 0, "running": 0, "done": 0,
+                            "failed": 0}
+    a, _ = db.submit("ka", "annotate", "{}")
+    b, _ = db.submit("kb", "bench", "{}")
+    assert reconciled()["queued"] == 2
+    db.submit("ka", "annotate", "{}")  # coalesce: no state change
+    assert reconciled()["queued"] == 2
+
+    db.claim_next()  # a -> running
+    assert reconciled() == {"queued": 1, "running": 1, "done": 0,
+                            "failed": 0}
+    db.finish(a["id"], "{}")
+    db.claim_next()  # b -> running
+    db.fail(b["id"], "boom")
+    assert reconciled() == {"queued": 0, "running": 0, "done": 1,
+                            "failed": 1}
+
+    db.submit("ka", "annotate", "{}")  # cached: no state change
+    db.submit("kb", "bench", "{}")  # requeued: failed -> queued
+    assert reconciled() == {"queued": 1, "running": 0, "done": 1,
+                            "failed": 0}
+
+    # crash recovery paths move counts too
+    db.claim_next()
+    requeued, _ = db.recover(max_retries=3)
+    assert len(requeued) == 1
+    assert reconciled()["queued"] == 1
+    for _ in range(3):  # exhaust retries -> abandoned
+        db.claim_next()
+        db.recover(max_retries=3)
+    assert reconciled() == {"queued": 0, "running": 0, "done": 1,
+                            "failed": 1}
+
+    # a reopened ledger reseeds the tallies from a scan
+    reopened = JobDb(tmp_path)
+    assert reopened.counts() == db.counts_scan()
+
+
 def test_open_readonly_refuses_a_non_service_dir(tmp_path):
     with pytest.raises(ServiceError, match="no service ledger"):
         open_readonly(tmp_path)

@@ -1,0 +1,266 @@
+"""Operational telemetry: /metrics exposition validity, counter
+conservation against the sqlite ledger, trace flow arrows, the ops page
+and the ``top`` snapshot."""
+
+from __future__ import annotations
+
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs.telemetry import (
+    ServiceTelemetry,
+    family_counts,
+    labelled,
+    prometheus_text,
+    split_labelled,
+)
+from repro.service.app import serve_background
+from repro.service.cli import _render_top
+from repro.service.client import ServiceClient
+from repro.service.queue import JobQueue, ServiceConfig
+
+PARAMS = {"workload": "matmul_racing", "verify": False}
+
+#: one Prometheus text-exposition sample line
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?$'
+)
+META_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+@pytest.fixture()
+def live(tmp_path):
+    queue = JobQueue(ServiceConfig(data_dir=str(tmp_path)))
+    server, _thread = serve_background(queue)
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), queue, \
+            f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        queue.stop()
+
+
+def run_one_job_plus_cache_hit(client) -> dict:
+    payload = client.submit("annotate", PARAMS)
+    done = client.wait(payload["id"], timeout=120)
+    assert done["state"] == "done"
+    assert client.submit("annotate", PARAMS)["cached"] is True
+    return payload
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    out = {}
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            name, _, value = line.rpartition(" ")
+            out[name] = float(value)
+    return out
+
+
+# ------------------------------------------------------------- exposition
+def test_metrics_page_is_valid_exposition(live):
+    client, _queue, base = live
+    run_one_job_plus_cache_hit(client)
+
+    resp = urllib.request.urlopen(base + "/metrics")
+    assert resp.headers["Content-Type"] == \
+        "text/plain; version=0.0.4; charset=utf-8"
+    text = resp.read().decode("utf-8")
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        pattern = META_RE if line.startswith("#") else SAMPLE_RE
+        assert pattern.match(line), f"malformed exposition line: {line!r}"
+
+    samples = parse_samples(text)
+    assert samples['repro_service_submissions_total{disposition="new"}'] == 1
+    assert samples[
+        'repro_service_submissions_total{disposition="cached"}'] == 1
+    assert samples['repro_service_jobs_completed_total'
+                   '{kind="annotate",outcome="ok"}'] == 1
+    assert samples["repro_service_telemetry_enabled"] == 1
+    # instruments exist from the first scrape, zero-valued not absent
+    assert samples[
+        'repro_service_submissions_total{disposition="requeued"}'] == 0
+
+
+def test_histogram_buckets_are_cumulative_and_close_at_inf(live):
+    client, _queue, base = live
+    run_one_job_plus_cache_hit(client)
+    client.status()  # a couple more HTTP observations
+    client.jobs()
+
+    text = urllib.request.urlopen(base + "/metrics").read().decode()
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    for name, value in parse_samples(text).items():
+        if "_bucket{" in name:
+            family, labels = name.split("_bucket{", 1)
+            le = re.search(r'le="([^"]+)"', labels).group(1)
+            rest = re.sub(r',?le="[^"]+"', "", labels)
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault((family, rest), []).append((bound, value))
+        elif "_count" in name:
+            counts[name] = value
+    assert buckets, "no histograms were exported"
+    for (family, labels), series in buckets.items():
+        series.sort()
+        values = [v for _bound, v in series]
+        assert values == sorted(values), f"{family} buckets not cumulative"
+        assert series[-1][0] == float("inf")
+        count_key = f"{family}_count{{{labels[:-1]}}}" if labels != "}" \
+            else f"{family}_count"
+        assert series[-1][1] == counts[count_key]
+
+
+def test_counters_reconcile_with_the_ledger(live):
+    client, queue, base = live
+    run_one_job_plus_cache_hit(client)
+    # a second distinct key, then its cache hit
+    p2 = {"workload": "matmul_racing", "verify": False,
+          "policy": "programmer"}
+    client.wait(client.submit("annotate", p2)["id"], timeout=120)
+    client.submit("annotate", p2)
+
+    samples = parse_samples(
+        urllib.request.urlopen(base + "/metrics").read().decode()
+    )
+
+    def counter(family: str, **labels) -> float:
+        name = "repro_" + family.replace(".", "_") + "_total"
+        _, inner = split_labelled(labelled("x", **labels))
+        return samples[f"{name}{{{inner}}}" if inner else name]
+
+    # conservation against the in-memory stats...
+    stats = queue.stats.as_dict()
+    dispositions = {
+        d: counter("service.submissions", disposition=d)
+        for d in ("new", "cached", "coalesced", "requeued")
+    }
+    assert sum(dispositions.values()) == stats["submitted"] == 4
+    assert dispositions["cached"] == stats["cache_hits"] == 2
+    # ...and against the sqlite ledger itself: every "new" is a row, and
+    # the incrementally maintained counts match a full scan
+    ledger = queue.db.counts_scan()
+    assert dispositions["new"] == sum(ledger.values()) == 2
+    assert queue.db.counts() == ledger
+    assert ledger["done"] == counter("service.jobs.completed",
+                                     kind="annotate", outcome="ok") == 2
+    # gauges mirror the drained ledger
+    assert samples["repro_service_queue_depth"] == ledger["queued"] == 0
+    assert samples["repro_service_jobs_running"] == ledger["running"] == 0
+
+
+def test_coalesced_submissions_are_counted(tmp_path):
+    # workers never started: the first submission stays queued, so the
+    # second must coalesce onto it
+    queue = JobQueue(ServiceConfig(data_dir=str(tmp_path)))
+    queue.submit("annotate", PARAMS)
+    payload = queue.submit("annotate", PARAMS)
+    assert payload["disposition"] == "coalesced"
+    snap = queue.telemetry.registry.snapshot()
+    by_disposition = family_counts(snap, "service.submissions")
+    assert by_disposition['disposition="new"'] == 1
+    assert by_disposition['disposition="coalesced"'] == 1
+    assert snap["service.queue.depth"] == 1
+
+
+# ------------------------------------------------------------------ traces
+def test_trace_links_requests_to_job_runs_by_flow_arrows(live):
+    client, _queue, _base = live
+    payload = run_one_job_plus_cache_hit(client)
+    cid = payload["correlation_id"]
+
+    trace = client.trace()
+    events = trace["traceEvents"]
+    names = [e["name"] for e in events]
+    for expected in ("queued", "run annotate", "simulate", "annotate",
+                     "persist", "POST /api/jobs"):
+        assert expected in names, f"missing span {expected!r}"
+
+    flows = [e for e in events if e.get("cat") == "service"
+             and e.get("id") == cid]
+    phases = sorted(e["ph"] for e in flows)
+    assert phases == ["f", "s", "t"], f"incomplete flow arrow: {flows}"
+    start = next(e for e in flows if e["ph"] == "s")
+    finish = next(e for e in flows if e["ph"] == "f")
+    # starts on the HTTP process, finishes on the workers' persist span
+    assert start["pid"] == 0 and finish["pid"] == 1
+    assert finish["bp"] == "e"
+    persist = next(e for e in events if e["name"] == "persist")
+    assert finish["ts"] == persist["ts"]
+    # the cached resubmission created no second flow
+    all_flow_ids = {e["id"] for e in events if e.get("cat") == "service"}
+    assert all_flow_ids == {cid}
+    # both processes are named for Perfetto
+    proc_meta = {e["pid"]: e["args"]["name"] for e in events
+                 if e["name"] == "process_name"}
+    assert proc_meta == {0: "repro-serve: http", 1: "repro-serve: jobs"}
+
+
+# ------------------------------------------------------------- dashboards
+def test_ops_page_and_top_snapshot(live):
+    client, _queue, base = live
+    run_one_job_plus_cache_hit(client)
+
+    html = urllib.request.urlopen(base + "/ops.html").read().decode()
+    assert "operational telemetry" in html
+    assert "job execution latency" in html
+    assert "annotate" in html
+    # counter names render HTML-escaped (quotes become &quot;)
+    assert "service.submissions{disposition=&quot;cached&quot;}" in html
+
+    index = urllib.request.urlopen(base + "/").read().decode()
+    assert "/ops.html" in index
+
+    top = _render_top(client.status(), client.metrics())
+    assert "telemetry on" in top
+    assert "job latency" in top and "http latency" in top
+    assert "/api/jobs/{id}" in top  # templated routes, not raw paths
+
+
+# ---------------------------------------------------------------- disabled
+def test_disabled_telemetry_serves_but_collects_nothing(tmp_path):
+    queue = JobQueue(ServiceConfig(data_dir=str(tmp_path), telemetry=False))
+    server, _thread = serve_background(queue)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    client = ServiceClient(base)
+    try:
+        run_one_job_plus_cache_hit(client)
+        text = urllib.request.urlopen(base + "/metrics").read().decode()
+        assert "repro_service_telemetry_enabled 0" in text
+        assert "submissions" not in text
+        snap = client.metrics()
+        assert snap["enabled"] is False and snap["metrics"] == {}
+        assert client.trace()["traceEvents"] == [
+            e for e in client.trace()["traceEvents"] if e["ph"] == "M"
+        ]  # process metadata only, no spans
+        assert "(telemetry disabled" in _render_top(client.status(),
+                                                    snap)
+        html = urllib.request.urlopen(base + "/ops.html").read().decode()
+        assert "Telemetry is disabled" in html
+    finally:
+        server.shutdown()
+        queue.stop()
+
+
+def test_prometheus_rejects_mixed_instrument_families():
+    from repro.obs.metrics import MetricsError, MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter(labelled("service.thing", a="1"))
+    registry.gauge(labelled("service.thing", a="2"))
+    with pytest.raises(MetricsError, match="mixes instrument types"):
+        prometheus_text(registry)
+
+
+def test_next_id_is_allocated_even_when_disabled():
+    telemetry = ServiceTelemetry(enabled=False)
+    assert telemetry.next_id() == 1
+    assert telemetry.next_id() == 2
