@@ -175,9 +175,15 @@ def _exec_figure6(
     return {"cycles": result.cycles}
 
 
-def _exec_bench(workload, out_dir, variants=None, trace_dir=None):
+def _exec_bench(workload, out_dir, variants=None, trace_dir=None,
+                timings=False):
     """One ``repro-obs bench`` unit: bench a whole workload, write its
-    BENCH file, return the headline cycles per variant."""
+    BENCH file, return the headline cycles per variant.
+
+    With ``timings`` the run executes under hostprof phase accounting and
+    the per-variant host measurements ride back in the return value (never
+    in the BENCH file — its bytes must stay host-independent); the parent
+    appends them to the perf-history ledger in submission order."""
     from repro.obs.baseline import bench_workload, write_bench
 
     kwargs = {}
@@ -185,12 +191,18 @@ def _exec_bench(workload, out_dir, variants=None, trace_dir=None):
         kwargs["variants"] = tuple(variants)
     if trace_dir:
         kwargs["trace_dir"] = trace_dir
+    host: dict = {}
+    if timings:
+        kwargs["timings"] = host
     bench = bench_workload(workload, **kwargs)
     path = write_bench(bench, out_dir)
-    return {
+    out = {
         "path": path,
         "cycles": {v: rec["cycles"] for v, rec in bench["variants"].items()},
     }
+    if timings:
+        out["timings"] = host
+    return out
 
 
 def _exec_verify(

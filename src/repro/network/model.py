@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.coherence.messages import MessageKind
+from repro.obs import hostprof
 from repro.obs.events import EventBus, EventKind, MessageEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,16 +61,25 @@ class Network:
         stall) or duplicated (the duplicates are accounted as extra traffic
         of the same kind and context).
         """
-        faults = self.faults
-        if faults is not None:
-            count += faults.on_message(self.node, kind, count, self.hop_latency)
-        self._traffic[kind] += count
-        bus = self.bus
-        if bus is not None and bus.wants(EventKind.MESSAGE):
-            bus.publish(MessageEvent(
-                msg=kind, count=count, node=self.node, epoch=self.epoch,
-                t=self.t, txn=self.txn,
-            ))
+        prof = hostprof.ACTIVE
+        if prof is not None:
+            prof.push("network")
+        try:
+            faults = self.faults
+            if faults is not None:
+                count += faults.on_message(
+                    self.node, kind, count, self.hop_latency
+                )
+            self._traffic[kind] += count
+            bus = self.bus
+            if bus is not None and bus.wants(EventKind.MESSAGE):
+                bus.publish(MessageEvent(
+                    msg=kind, count=count, node=self.node, epoch=self.epoch,
+                    t=self.t, txn=self.txn,
+                ))
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def hops(self, n: int) -> int:
         """Latency of ``n`` sequential message hops on the critical path."""

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
 
 from repro.coherence.messages import MessageKind
+from repro.obs import hostprof
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (protocol imports us)
     from repro.coherence.protocol import AccessResult
@@ -260,5 +261,12 @@ class EventBus:
         """Deliver ``event`` to every subscriber of its kind, in order."""
         handlers = self._subs.get(event.kind)
         if handlers:
-            for handler in tuple(handlers.values()):
-                handler(event)
+            prof = hostprof.ACTIVE
+            if prof is not None:
+                prof.push("obs")
+            try:
+                for handler in tuple(handlers.values()):
+                    handler(event)
+            finally:
+                if prof is not None:
+                    prof.pop()

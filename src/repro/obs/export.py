@@ -83,6 +83,14 @@ def chrome_trace(obs: Observation) -> dict:
         "args": {"sort_index": NETWORK_PID},
     })
     events.extend(obs.trace_events)
+    if obs.hostprof is not None:
+        # Host-time tracks ride alongside the simulated-time tracks.  They
+        # use a different clock (µs of host wall-time from run start, vs
+        # simulated cycles) — relative placement within the host process is
+        # what matters, as the module docstring says for cycles.
+        from repro.obs.hostprof import host_trace_events
+
+        events.extend(host_trace_events(obs.hostprof, run_name))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -107,6 +115,8 @@ def exporting_observer(
     obs_dir: str,
     profile: bool = True,
     critpath: bool = True,
+    hostprof: bool = False,
+    sampling: float = 0.0,
 ):
     """A fully-armed :class:`~repro.obs.session.Observer` that writes the
     run's Chrome trace and JSONL manifest into ``obs_dir`` on finalize
@@ -134,6 +144,8 @@ def exporting_observer(
     return _ExportingObserver(
         profile=profile,
         critpath=critpath,
+        hostprof=hostprof,
+        sampling=sampling,
         meta={"name": f"{workload}/{variant}",
               "benchmark": workload, "variant": variant},
     )
@@ -157,6 +169,8 @@ def manifest_records(obs: Observation) -> Iterator[dict]:
         yield {"type": "attrib", "attrib": obs.attrib}
     if obs.critpath is not None:
         yield {"type": "critpath", "critpath": obs.critpath}
+    if obs.hostprof is not None:
+        yield {"type": "hostprof", "hostprof": obs.hostprof}
 
 
 def write_manifest(obs: Observation, path: str) -> None:
@@ -171,26 +185,11 @@ def read_manifest(path: str) -> list[dict]:
 
     Blank lines are skipped and a *trailing* partial line (a run cut off
     mid-write) is ignored; corruption anywhere else raises
-    :class:`~repro.errors.ObsError` naming the offending line.
+    :class:`~repro.errors.ObsError` naming the offending line.  The same
+    salvage contract backs the perf history ledger
+    (:mod:`repro.obs.history`); both read through
+    :func:`repro.util.jsonl.read_jsonl`.
     """
-    from repro.errors import ObsError
+    from repro.util.jsonl import read_jsonl
 
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.readlines()
-    records = []
-    bad: tuple[int, str] | None = None
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        if bad is not None:
-            # A parse failure followed by more content is corruption, not a
-            # truncated tail.
-            raise ObsError(
-                f"{path}:{bad[0]}: invalid manifest record: {bad[1]}"
-            )
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            bad = (lineno, str(exc))
-    return records
+    return read_jsonl(path, what="manifest record")

@@ -74,6 +74,8 @@ class Observation:
     attrib: dict | None = None
     #: critical-path report (repro.obs.critpath) when requested
     critpath: dict | None = None
+    #: host-time report (repro.obs.hostprof) when the run was host-profiled
+    hostprof: dict | None = None
 
     def metric(self, name: str, default=0):
         return self.metrics.get(name, default)
@@ -104,6 +106,15 @@ class Observer:
         Attach a :class:`~repro.obs.critpath.CriticalPathAnalyzer` when the
         run is bound; the per-epoch straggler / what-if report lands on
         ``Observation.critpath``.
+    hostprof:
+        Profile the *simulator itself*: the harness runs the machine inside
+        a :class:`~repro.obs.hostprof.HostProfiler` and the subsystem × epoch
+        host-time breakdown lands on ``Observation.hostprof``.  Host time is
+        never written into BENCH files (it would break byte-identical
+        determinism); it flows to the perf-history ledger instead.
+    sampling:
+        With ``hostprof``, also run the thread-based sampling profiler at
+        this interval in seconds (0 disables sampling).
     """
 
     def __init__(
@@ -115,6 +126,8 @@ class Observer:
         meta: dict | None = None,
         profile: bool = False,
         critpath: bool = False,
+        hostprof: bool = False,
+        sampling: float = 0.0,
     ):
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -127,6 +140,11 @@ class Observer:
         self._critpath = critpath
         self.profiler = None  # AttributionProfiler, set by bind_run
         self.critpath_analyzer = None  # CriticalPathAnalyzer, set by bind_run
+        self.host_profiler = None  # HostProfiler, run by the harness
+        if hostprof:
+            from repro.obs.hostprof import HostProfiler
+
+            self.host_profiler = HostProfiler(sampling_interval_s=sampling)
         self._tokens: list[int] = []
         self._max_node = -1
         # chrome-mode flow bookkeeping: slow-path events by requesting node,
@@ -421,6 +439,9 @@ class Observer:
             critpath = self.critpath_analyzer.report(
                 name=self.meta.get("name", "run")
             )
+        hostprof = None
+        if self.host_profiler is not None and self.host_profiler.total_ns > 0:
+            hostprof = self.host_profiler.report()
         obs = Observation(
             metrics=self.registry.snapshot(),
             timeline=list(self.timeline.samples),
@@ -431,6 +452,7 @@ class Observer:
             meta=dict(self.meta),
             attrib=attrib,
             critpath=critpath,
+            hostprof=hostprof,
         )
         self.observation = obs
         result.obs = obs

@@ -1,0 +1,48 @@
+"""Salvage-tolerant JSONL reading, shared by every ledger in the repo.
+
+Two append-oriented stores use the same on-disk shape and therefore the
+same failure mode: the run manifest (:mod:`repro.obs.export`) and the perf
+history ledger (:mod:`repro.obs.history`) are both one-JSON-object-per-line
+files that a killed writer can leave cut off mid-line.  The salvage
+contract, pinned by tests on both stores:
+
+* blank lines are skipped;
+* a *trailing* partial line — the classic truncated tail of an interrupted
+  write — is silently dropped;
+* corruption anywhere *before* the last line is real damage and raises
+  :class:`~repro.errors.ObsError` naming the offending line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObsError
+
+
+def read_jsonl(path: str, what: str = "record") -> list[dict]:
+    """Parse a JSONL file into its records under the salvage contract.
+
+    ``what`` names the record type in the corruption diagnostic
+    (``"manifest record"``, ``"history entry"``, ...).
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    records: list[dict] = []
+    bad: tuple[int, str] | None = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if bad is not None:
+            # A parse failure followed by more content is corruption, not a
+            # truncated tail.
+            raise ObsError(f"{path}:{bad[0]}: invalid {what}: {bad[1]}")
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            bad = (lineno, str(exc))
+    return records
+
+
+__all__ = ["read_jsonl"]

@@ -1,0 +1,92 @@
+"""/perf.html: live page byte-identical to the static dashboard export."""
+
+from __future__ import annotations
+
+import urllib.request
+
+import pytest
+
+from repro.obs.history import DEFAULT_LEDGER, append_entries, make_entry
+from repro.service.app import serve_background
+from repro.service.queue import JobQueue, ServiceConfig
+from repro.service.reports import export_site
+
+
+def _fetch(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.status == 200
+        return resp.read()
+
+
+def _entries():
+    host = {"platform": "test", "python": "3", "machine": "x", "cpu_count": 1}
+    return [
+        make_entry("mp3d", "plain", cycles=145726, host_seconds=1.25,
+                   ts=float(i), sha=f"sha{i}", host=host)
+        for i in range(3)
+    ] + [
+        make_entry("mp3d", "cachier", cycles=84957,
+                   ts=0.0, sha="seed", source="seed", host=host),
+    ]
+
+
+@pytest.fixture()
+def live(tmp_path):
+    data_dir = tmp_path / "data"
+    data_dir.mkdir()
+    queue = JobQueue(ServiceConfig(data_dir=str(data_dir)))
+    server, _thread = serve_background(queue)
+    host, port = server.server_address[:2]
+    try:
+        yield queue, f"http://{host}:{port}", data_dir
+    finally:
+        server.shutdown()
+        queue.stop()
+
+
+def test_live_perf_page_matches_static_export(live, tmp_path):
+    queue, url, data_dir = live
+    append_entries(str(data_dir / DEFAULT_LEDGER), _entries())
+
+    live_bytes = _fetch(f"{url}/perf.html")
+    assert b"repro perf history" in live_bytes
+    assert b"mp3d" in live_bytes and b"<svg" in live_bytes
+
+    out_dir = tmp_path / "site"
+    written = export_site(str(data_dir), str(out_dir))
+    assert "perf.html" in written
+    static_bytes = (out_dir / "perf.html").read_bytes()
+    assert live_bytes == static_bytes
+
+
+def test_missing_ledger_serves_matching_empty_state(live, tmp_path):
+    queue, url, data_dir = live
+    live_bytes = _fetch(f"{url}/perf.html")
+    assert b"No history yet" in live_bytes
+
+    out_dir = tmp_path / "site"
+    export_site(str(data_dir), str(out_dir))
+    assert live_bytes == (out_dir / "perf.html").read_bytes()
+
+
+def test_index_links_to_perf_history(live):
+    queue, url, _data_dir = live
+    index = _fetch(f"{url}/").decode("utf-8")
+    assert 'href="/perf.html"' in index
+
+
+def test_history_path_override(tmp_path):
+    ledger = tmp_path / "elsewhere" / "custom.jsonl"
+    data_dir = tmp_path / "data"
+    data_dir.mkdir()
+    queue = JobQueue(ServiceConfig(data_dir=str(data_dir),
+                                   history_path=str(ledger)))
+    append_entries(str(ledger), _entries())
+    server, _thread = serve_background(queue)
+    host, port = server.server_address[:2]
+    try:
+        body = _fetch(f"http://{host}:{port}/perf.html")
+        assert b"mp3d" in body and b"No history yet" not in body
+    finally:
+        server.shutdown()
+        queue.stop()
