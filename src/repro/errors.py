@@ -94,13 +94,25 @@ class VerifyError(CachierError):
         if where:
             text += f" ({where})"
         if chain:
-            text += "\n  event chain:\n" + "\n".join(f"    {ev}" for ev in chain)
+            from repro.verify.format import format_chain
+
+            text += "\n  event chain:\n" + format_chain(chain)
         super().__init__(text)
         self.invariant = invariant
         self.node = node
         self.epoch = epoch
         self.block = block
         self.chain = chain
+
+
+class McError(CachierError):
+    """The model checker (:mod:`repro.mc`) was misused or met a malformed
+    artifact: an inconsistent exploration config, a schedule file whose
+    actions are not applicable in order (a stale counterexample), an unknown
+    protocol mutation name, or an exploration that exceeded its state/depth
+    budget under ``require_exhaustive``.  Genuine protocol violations are
+    *results*, not errors — they come back as counterexamples (CLI exit 1),
+    while this family exits 2 via ``run_cli`` like every other ReproError."""
 
 
 class WatchdogError(MachineError, CachierError):

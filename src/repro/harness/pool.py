@@ -176,7 +176,7 @@ def _exec_figure6(
 
 
 def _exec_bench(workload, out_dir, variants=None, trace_dir=None,
-                timings=False):
+                timings=False, verify=False):
     """One ``repro-obs bench`` unit: bench a whole workload, write its
     BENCH file, return the headline cycles per variant.
 
@@ -191,6 +191,8 @@ def _exec_bench(workload, out_dir, variants=None, trace_dir=None,
         kwargs["variants"] = tuple(variants)
     if trace_dir:
         kwargs["trace_dir"] = trace_dir
+    if verify:
+        kwargs["verify"] = True
     host: dict = {}
     if timings:
         kwargs["timings"] = host
@@ -249,11 +251,21 @@ def _exec_verify(
     }
 
 
+def _exec_mc(config, states, mutate=None):
+    """One model-checker frontier partition: expand every state in the
+    chunk under the given exploration config (see
+    :func:`repro.mc.explore.exec_mc_wave`)."""
+    from repro.mc.explore import exec_mc_wave
+
+    return exec_mc_wave(config, states, mutate=mutate)
+
+
 _EXECUTORS = {
     "probe": _exec_probe,
     "figure6": _exec_figure6,
     "bench": _exec_bench,
     "verify": _exec_verify,
+    "mc": _exec_mc,
 }
 
 #: per-process variant-set memo: building a workload's variants (trace +

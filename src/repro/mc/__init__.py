@@ -1,0 +1,55 @@
+"""Exhaustive small-config model checking for the Dir1SW + CICO protocol.
+
+The online invariant checker (:mod:`repro.verify`) validates the single
+interleaving one run happens to execute; this package *proves* the protocol
+on configurations small enough to enumerate, in the style of Qadeer's
+sequential-consistency model checking: every interleaving of coherence
+transitions (reads, writes), CICO directives (``check_out_S/X``,
+``check_in``, prefetches) and fault-injection events (transient NACK +
+retry, message duplication) across 2–3 nodes, 1–2 blocks and 1–2 epochs is
+explored, with the ``repro.verify`` invariants checked as safety properties
+at every transition and absence of deadlock checked structurally.
+
+The pieces:
+
+* :mod:`repro.mc.model` — the canonical hashable state abstraction plus
+  ``enabled_actions``/``apply`` over the *real* :class:`Dir1SWProtocol`
+  (the checker drives the production protocol engine, not a re-model);
+* :mod:`repro.mc.explore` — BFS with state dedup, optional symmetry
+  reduction over node ids, depth/state budgets, and hash-partitioned
+  frontier waves for ``--jobs N`` via the PR-5 process pool;
+* :mod:`repro.mc.counterexample` — shortest-path extraction, ddmin
+  schedule minimization, JSON serialization, and the deterministic
+  schedule-replay driver that turns any counterexample into an ordinary
+  failing pytest;
+* :mod:`repro.mc.mutations` — named, deliberately re-broken protocol
+  shims (``lost_invalidation``, ...) used to prove the checker catches
+  real bugs and to keep committed counterexamples honest in CI;
+* :mod:`repro.mc.cli` — the ``repro-mc`` console script
+  (``explore`` / ``replay`` / ``stats``).
+"""
+
+from __future__ import annotations
+
+from repro.mc.counterexample import (
+    load_counterexample,
+    replay_schedule,
+    save_counterexample,
+)
+from repro.mc.explore import ExploreResult, explore
+from repro.mc.model import Action, MCConfig, ProtocolModel, Violation
+from repro.mc.mutations import MUTATIONS, apply_mutation
+
+__all__ = [
+    "Action",
+    "ExploreResult",
+    "MCConfig",
+    "MUTATIONS",
+    "ProtocolModel",
+    "Violation",
+    "apply_mutation",
+    "explore",
+    "load_counterexample",
+    "replay_schedule",
+    "save_counterexample",
+]

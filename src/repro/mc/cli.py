@@ -1,0 +1,309 @@
+"""``repro-mc``: explore, replay, and summarize protocol model checking.
+
+Three subcommands:
+
+``explore``
+    Exhaust the state space of a small config (or stop at the first
+    violation).  Exit 0 on a clean exhaustive run, **1** when a violation
+    was found (the minimized counterexample is printed and, with ``--out``,
+    serialized for committing), 2 on usage errors / stale artifacts via the
+    standard ``run_cli`` contract.  ``--mutate NAME`` checks a deliberately
+    broken protocol shim; ``--jobs N`` fans frontier waves across the
+    process pool; ``--require-exhaustive`` makes a budget stop an error.
+
+``replay``
+    Deterministically re-execute a ``counterexamples/*.json`` schedule.
+    Against HEAD (the default) a committed counterexample must apply
+    cleanly — exit 0.  With ``--mutate`` (or ``--recorded-mutation`` to use
+    the mutation stored in the file) the bug is re-seeded and the replay
+    must reproduce the violation; ``--expect-violation`` flips the exit
+    code for exactly that CI usage (0 = violation reproduced).
+
+``stats``
+    One summary line per stats file (from ``explore --stats-out``) or
+    counterexample file; directories are swept for ``*.json``.
+
+Example session — find, commit, and guard a seeded bug::
+
+    repro-mc explore --mutate lost_invalidation \\
+        --out counterexamples/lost_invalidation.json   # exit 1, file written
+    repro-mc replay counterexamples/lost_invalidation.json            # 0
+    repro-mc replay counterexamples/lost_invalidation.json \\
+        --recorded-mutation --expect-violation                        # 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cliutil import add_version, run_cli
+from repro.errors import McError
+from repro.mc.counterexample import (
+    load_counterexample,
+    replay_schedule,
+    save_counterexample,
+)
+from repro.mc.explore import explore
+from repro.mc.model import OPS, MCConfig
+
+#: exit status when the checker found (or reproduced) a protocol violation —
+#: a *result*, distinct from usage errors (2) per the run_cli contract.
+EXIT_VIOLATION = 1
+
+
+def _config_from_args(args) -> MCConfig:
+    ops = tuple(args.ops.split(",")) if args.ops else OPS
+    return MCConfig(
+        nodes=args.nodes,
+        blocks=args.blocks,
+        epochs=args.epochs,
+        ops_per_epoch=args.ops_per_epoch,
+        ops=ops,
+        faults=not args.no_faults,
+        fault_budget=args.fault_budget,
+        symmetry=args.symmetry,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+    )
+
+
+def _print_schedule(schedule, *, indent: str = "  ") -> None:
+    for i, action in enumerate(schedule):
+        print(f"{indent}{i:3d}  {action.label()}")
+
+
+def _cmd_explore(args) -> int:
+    config = _config_from_args(args)
+    result = explore(
+        config,
+        mutate=args.mutate,
+        jobs=args.jobs,
+        minimize=not args.no_minimize,
+        require_exhaustive=args.require_exhaustive,
+    )
+    if args.stats_out:
+        Path(args.stats_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.stats_out).write_text(
+            json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    label = f"mutate={args.mutate}" if args.mutate else "HEAD"
+    if result.violation is not None:
+        coverage = "stopped at violation"
+    elif result.exhausted:
+        coverage = "exhausted"
+    else:
+        coverage = "budget-stopped"
+    print(
+        f"explore [{label}] {coverage}: {result.states} states, "
+        f"{result.transitions} transitions, depth {result.depth}, "
+        f"{result.elapsed:.2f}s ({result.states_per_sec:.0f} states/s, "
+        f"jobs={result.jobs})"
+    )
+    if result.violation is None:
+        print("no violations")
+        return 0
+    vio = result.violation
+    print(f"VIOLATION [{vio.invariant}] {vio.message}")
+    print(
+        f"counterexample: {len(result.schedule)} actions "
+        f"(minimized from {result.schedule_raw}):"
+    )
+    _print_schedule(result.schedule)
+    if args.out:
+        path = save_counterexample(
+            args.out, config, result.schedule, vio,
+            mutation=args.mutate,
+            meta={
+                "states": result.states,
+                "transitions": result.transitions,
+                "schedule_raw": result.schedule_raw,
+            },
+        )
+        print(f"wrote {path}")
+    return EXIT_VIOLATION
+
+
+def _cmd_replay(args) -> int:
+    ce = load_counterexample(args.file)
+    if args.recorded_mutation and args.mutate:
+        raise McError("--recorded-mutation and --mutate are mutually exclusive")
+    mutate = ce.mutation if args.recorded_mutation else args.mutate
+    label = f"mutate={mutate}" if mutate else "HEAD"
+    result = replay_schedule(ce.config, ce.schedule, mutate=mutate)
+    print(f"replay {args.file} [{label}]: {len(ce.schedule)} actions")
+    _print_schedule(ce.schedule)
+    if result.violation is None:
+        print(f"applied cleanly ({result.applied} actions, no violation)")
+        reproduced = False
+    else:
+        vio = result.violation
+        print(f"VIOLATION at step {result.step} [{vio.invariant}] {vio.message}")
+        reproduced = True
+        if (
+            args.expect_violation
+            and vio.invariant != ce.violation.invariant
+        ):
+            raise McError(
+                f"replay violated {vio.invariant!r} but the counterexample "
+                f"records {ce.violation.invariant!r} — stale artifact?"
+            )
+    if args.expect_violation:
+        return 0 if reproduced else EXIT_VIOLATION
+    return EXIT_VIOLATION if reproduced else 0
+
+
+def _stats_line(path: Path) -> str:
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise McError(f"cannot read stats from {path}: {exc}") from None
+    # discriminate on "version": explore stats files carry a (possibly
+    # null) "schedule" key too, so its mere presence is not enough
+    if "version" in raw:  # a counterexample file
+        ce = load_counterexample(path)
+        return (
+            f"{path.name}: counterexample [{ce.violation.invariant}] "
+            f"{len(ce.schedule)} actions, nodes={ce.config.nodes} "
+            f"blocks={ce.config.blocks} epochs={ce.config.epochs}, "
+            f"mutation={ce.mutation or '-'}"
+        )
+    if "states" in raw:  # an explore --stats-out file
+        coverage = "exhausted" if raw.get("exhausted") else "budget-stopped"
+        return (
+            f"{path.name}: explore {coverage} {raw['states']} states, "
+            f"{raw.get('transitions', '?')} transitions, "
+            f"depth {raw.get('depth', '?')}, "
+            f"{raw.get('states_per_sec', '?')} states/s"
+        )
+    raise McError(f"{path} is neither an explore stats file nor a counterexample")
+
+
+def _cmd_stats(args) -> int:
+    paths: list[Path] = []
+    for name in args.path:
+        p = Path(name)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.json")))
+        else:
+            paths.append(p)
+    if not paths:
+        raise McError("no stats or counterexample files found")
+    for p in paths:
+        print(_stats_line(p))
+    return 0
+
+
+def _add_config_flags(sub) -> None:
+    sub.add_argument("--nodes", type=int, default=2, help="nodes (1..4)")
+    sub.add_argument("--blocks", type=int, default=1, help="shared blocks (1..4)")
+    sub.add_argument("--epochs", type=int, default=1, help="epochs (1..3)")
+    sub.add_argument(
+        "--ops-per-epoch", type=int, default=2, metavar="N",
+        help="per-node op budget per epoch (barriers excluded)",
+    )
+    sub.add_argument(
+        "--ops", metavar="OP,OP,...",
+        help=f"restrict the op alphabet (default: {','.join(OPS)})",
+    )
+    sub.add_argument(
+        "--no-faults", action="store_true",
+        help="skip fault-mode variants of every transition",
+    )
+    sub.add_argument(
+        "--fault-budget", type=int, default=2, metavar="N",
+        help="max fault-mode transitions along any one path",
+    )
+    sub.add_argument(
+        "--symmetry", action="store_true",
+        help="dedup states modulo node-id permutation",
+    )
+    sub.add_argument(
+        "--max-states", type=int, default=500_000, metavar="N",
+        help="state budget (soft stop unless --require-exhaustive)",
+    )
+    sub.add_argument(
+        "--max-depth", type=int, default=128, metavar="N",
+        help="transition-fairness bound (BFS wave budget)",
+    )
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mc",
+        description="Exhaustive small-config model checking of the Dir1SW + "
+                    "CICO protocol: explore interleavings, replay "
+                    "counterexamples, summarize stats.",
+    )
+    add_version(parser, "repro-mc")
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    explore_p = subs.add_parser(
+        "explore", help="exhaust a small config (exit 1 on violation)",
+    )
+    _add_config_flags(explore_p)
+    explore_p.add_argument(
+        "--mutate", metavar="NAME",
+        help="check a deliberately broken protocol shim (repro.mc.mutations)",
+    )
+    explore_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan frontier waves across N pool workers",
+    )
+    explore_p.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip ddmin minimization of the counterexample schedule",
+    )
+    explore_p.add_argument(
+        "--require-exhaustive", action="store_true",
+        help="error (exit 2) if a budget stops exploration early",
+    )
+    explore_p.add_argument(
+        "--out", metavar="FILE",
+        help="write the counterexample JSON here when a violation is found",
+    )
+    explore_p.add_argument(
+        "--stats-out", metavar="FILE",
+        help="write exploration stats JSON here",
+    )
+    explore_p.set_defaults(fn=_cmd_explore)
+
+    replay_p = subs.add_parser(
+        "replay", help="deterministically replay a counterexample file",
+    )
+    replay_p.add_argument("file", help="counterexamples/*.json path")
+    replay_p.add_argument(
+        "--mutate", metavar="NAME",
+        help="re-seed this protocol mutation before replaying",
+    )
+    replay_p.add_argument(
+        "--recorded-mutation", action="store_true",
+        help="re-seed the mutation recorded in the file",
+    )
+    replay_p.add_argument(
+        "--expect-violation", action="store_true",
+        help="exit 0 iff the replay reproduces the recorded violation "
+             "(CI guard against vacuous counterexamples)",
+    )
+    replay_p.set_defaults(fn=_cmd_replay)
+
+    stats_p = subs.add_parser(
+        "stats", help="summarize stats / counterexample files",
+    )
+    stats_p.add_argument(
+        "path", nargs="+",
+        help="stats JSON, counterexample JSON, or a directory of them",
+    )
+    stats_p.set_defaults(fn=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+def main(argv=None) -> int:
+    return run_cli(_main, argv, prog="repro-mc")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

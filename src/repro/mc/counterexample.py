@@ -1,0 +1,237 @@
+"""Counterexample minimization, serialization, and deterministic replay.
+
+A counterexample is an *event schedule*: the exact action sequence that
+drives the protocol from the initial state into a violation.  Because
+:meth:`ProtocolModel.apply` is a pure function of (state, action), replaying
+the schedule is fully deterministic — no clock, no randomness, no pool —
+which is what lets a checker-found bug become an ordinary failing pytest.
+
+The schedule the explorer extracts is the BFS-shortest *path*, but paths
+still carry actions irrelevant to the bug (other nodes' reads, redundant
+directives).  :func:`minimize_schedule` delta-debugs the schedule with the
+classic ddmin loop: repeatedly drop complement chunks, keeping any candidate
+that still reproduces a violation of the *same invariant* (same-name, so
+minimization cannot wander onto a different bug).  A candidate whose actions
+are no longer applicable in order is simply "does not reproduce".
+
+Serialized form (``counterexamples/*.json``) is timestamp-free and fully
+self-contained — config, mutation name, schedule, expected violation — so
+committed counterexamples replay identically forever and double as the
+regression corpus ``tests/mc/test_counterexamples.py`` and the ``mc-smoke``
+CI job sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import McError
+from repro.mc.model import Action, MCConfig, ProtocolModel, Violation
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a schedule from the initial state."""
+
+    violation: Violation | None  # None: the whole schedule applied cleanly
+    step: int | None  # 0-based index of the violating action
+    applied: int  # actions applied before stopping
+    trace: list[str]  # compact labels of applied actions, in order
+    valid: bool = True  # False: an action was not enabled (stale schedule)
+
+    @property
+    def ok(self) -> bool:
+        return self.valid and self.violation is None
+
+
+def replay_schedule(
+    config: MCConfig,
+    schedule: list[Action],
+    *,
+    mutate: str | None = None,
+    strict: bool = True,
+) -> ReplayResult:
+    """Apply ``schedule`` action by action from the initial state.
+
+    ``strict`` governs inapplicable actions (a schedule minimized against a
+    different config, or hand-edited): raise :class:`McError` when True,
+    return ``valid=False`` when False (the ddmin predicate wants the latter
+    — "invalid candidate" and "does not reproduce" are both just False).
+    """
+    model = ProtocolModel(config, mutate=mutate)
+    key = model.initial_key()
+    trace: list[str] = []
+    for i, action in enumerate(schedule):
+        if not model.is_enabled(key, action):
+            if strict:
+                raise McError(
+                    f"schedule step {i} ({action.label()!r}) is not enabled "
+                    f"in the replayed state — stale or hand-edited "
+                    f"counterexample?"
+                )
+            return ReplayResult(None, None, i, trace, valid=False)
+        trace.append(action.label())
+        key, violation = model.apply(key, action)
+        if violation is not None:
+            return ReplayResult(violation, i, i + 1, trace)
+    return ReplayResult(None, None, len(schedule), trace)
+
+
+def _ddmin(items: list, predicate) -> list:
+    """Zeller's ddmin over complement chunks: the smallest sublist (by this
+    reduction strategy) for which ``predicate`` still holds."""
+    n = 2
+    while len(items) >= 2:
+        chunk = len(items) // n
+        reduced = False
+        for i in range(n):
+            lo = i * chunk
+            hi = (i + 1) * chunk if i < n - 1 else len(items)
+            candidate = items[:lo] + items[hi:]
+            if candidate and predicate(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+def minimize_schedule(
+    config: MCConfig,
+    schedule: list[Action],
+    violation: Violation,
+    *,
+    mutate: str | None = None,
+) -> list[Action]:
+    """ddmin ``schedule`` down to a 1-minimal reproducer of ``violation``.
+
+    "Reproduces" means: replaying the candidate (same config, same mutation)
+    ends in a violation of the same invariant name.  If even the full
+    schedule does not reproduce — which would mean the model is not
+    deterministic — the schedule is returned unminimized so the caller's
+    replay surfaces the discrepancy instead of hiding it here.
+    """
+    target = violation.invariant
+
+    def predicate(candidate: list[Action]) -> bool:
+        result = replay_schedule(config, candidate, mutate=mutate, strict=False)
+        return (
+            result.violation is not None
+            and result.violation.invariant == target
+        )
+
+    if not predicate(schedule):
+        return schedule
+    return _ddmin(list(schedule), predicate)
+
+
+# ------------------------------------------------------------ serialization
+
+@dataclass
+class Counterexample:
+    """A committed counterexample file, parsed and validated."""
+
+    config: MCConfig
+    mutation: str | None
+    schedule: list[Action]
+    violation: Violation
+    meta: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "config": self.config.as_dict(),
+            "mutation": self.mutation,
+            "schedule": [a.as_dict() for a in self.schedule],
+            "violation": self.violation.as_dict(),
+            "meta": self.meta,
+        }
+
+
+def save_counterexample(
+    path: str | Path,
+    config: MCConfig,
+    schedule: list[Action],
+    violation: Violation,
+    *,
+    mutation: str | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Write a replayable counterexample JSON (deterministic bytes: sorted
+    keys, no timestamps)."""
+    ce = Counterexample(
+        config=config,
+        mutation=mutation,
+        schedule=list(schedule),
+        violation=violation,
+        meta=dict(meta or {}),
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(ce.as_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_counterexample(path: str | Path) -> Counterexample:
+    """Parse + validate a counterexample file; :class:`McError` on damage."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise McError(f"no such counterexample: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise McError(f"counterexample {path} is not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise McError(f"counterexample {path} must be a JSON object")
+    version = raw.get("version")
+    if version != SCHEMA_VERSION:
+        raise McError(
+            f"counterexample {path} has schema version {version!r}, "
+            f"this checker reads version {SCHEMA_VERSION}"
+        )
+    for field_name in ("config", "schedule", "violation"):
+        if field_name not in raw:
+            raise McError(f"counterexample {path} is missing {field_name!r}")
+    mutation = raw.get("mutation")
+    if mutation is not None and not isinstance(mutation, str):
+        raise McError(f"counterexample {path}: mutation must be a string or null")
+    return Counterexample(
+        config=MCConfig.from_dict(raw["config"]),
+        mutation=mutation,
+        schedule=[Action.from_dict(a) for a in raw["schedule"]],
+        violation=Violation.from_dict(raw["violation"]),
+        meta=dict(raw.get("meta", {})),
+    )
+
+
+def replay_counterexample(
+    ce: Counterexample, *, with_mutation: bool = True
+) -> ReplayResult:
+    """Replay a loaded counterexample — with its recorded mutation (must
+    reproduce the violation) or against HEAD (must apply cleanly)."""
+    return replay_schedule(
+        ce.config,
+        ce.schedule,
+        mutate=ce.mutation if with_mutation else None,
+        strict=True,
+    )
+
+
+__all__ = [
+    "Counterexample",
+    "ReplayResult",
+    "SCHEMA_VERSION",
+    "load_counterexample",
+    "minimize_schedule",
+    "replay_counterexample",
+    "replay_schedule",
+    "save_counterexample",
+]

@@ -1,0 +1,292 @@
+"""Breadth-first state-space exploration with dedup and wave parallelism.
+
+The explorer walks the transition graph of :class:`~repro.mc.model.ProtocolModel`
+level by level: a *wave* expands every frontier state fully (all enabled
+actions), dedups successors against the visited set (optionally modulo node
+permutation), and either exhausts the space, hits a budget, or stops at the
+first violation.  Exploration order is deterministic — frontier states are
+expanded in insertion order and actions in :meth:`enabled_actions` order —
+so the first violation found, and hence the extracted counterexample, is a
+pure function of (config, mutation).
+
+``jobs > 1`` keeps the same wave structure but farms each wave's expansion
+out through the PR-5 :class:`~repro.harness.pool.SweepPool`: the frontier
+is split into ``jobs`` contiguous partitions (disjoint by construction),
+one ``RunTask("mc", ...)`` each, and the parent merges successor lists in
+submission order.  Because merge order equals serial iteration order, the
+parallel explorer visits the identical state set, counts the identical
+transitions, and finds the identical first violation as ``jobs == 1`` —
+the pool's ordered-delivery contract doing for state exploration what it
+already does for sweep artefacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import McError
+from repro.mc.model import Action, MCConfig, ProtocolModel, StateKey, Violation
+
+#: frontier size above which a multi-job explore actually engages the pool;
+#: below it the pickling tax outweighs the fan-out (waves near the root are
+#: tiny) and the wave runs inline on the identical code path.
+MIN_PARALLEL_FRONTIER = 64
+
+
+@dataclass
+class ExploreResult:
+    """What an exploration established, plus its effort accounting."""
+
+    config: MCConfig
+    mutate: str | None
+    states: int  # distinct states visited (after symmetry dedup)
+    transitions: int  # apply() calls performed
+    depth: int  # deepest completed wave
+    exhausted: bool  # True: full space covered within budgets
+    violation: Violation | None = None
+    schedule: list[Action] | None = None  # minimized counterexample path
+    schedule_raw: int = 0  # pre-minimization schedule length
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def states_per_sec(self) -> float:
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config.as_dict(),
+            "mutate": self.mutate,
+            "states": self.states,
+            "transitions": self.transitions,
+            "depth": self.depth,
+            "exhausted": self.exhausted,
+            "violation": self.violation.as_dict() if self.violation else None,
+            "schedule": (
+                [a.as_dict() for a in self.schedule]
+                if self.schedule is not None else None
+            ),
+            "schedule_raw": self.schedule_raw,
+            "elapsed": round(self.elapsed, 6),
+            "states_per_sec": round(self.states_per_sec, 1),
+            "jobs": self.jobs,
+        }
+
+
+@dataclass
+class _Search:
+    """Mutable BFS bookkeeping shared by the serial and pooled paths."""
+
+    visited: set = field(default_factory=set)
+    parents: dict = field(default_factory=dict)  # actual key -> (parent, Action)
+    states: int = 0
+    transitions: int = 0
+
+
+def _expand_serial(
+    model: ProtocolModel, frontier: list[StateKey]
+) -> list[list[tuple[Action, StateKey | None, Violation | None]]]:
+    """Expansion records for one wave, aligned with ``frontier``."""
+    out = []
+    for key in frontier:
+        recs = []
+        for action in model.enabled_actions(key):
+            succ, violation = model.apply(key, action)
+            recs.append((action, succ, violation))
+        out.append(recs)
+    return out
+
+
+def _expand_pooled(
+    model: ProtocolModel,
+    frontier: list[StateKey],
+    jobs: int,
+    wave: int,
+) -> list[list[tuple[Action, StateKey | None, Violation | None]]]:
+    """Same records as :func:`_expand_serial`, computed by worker fan-out.
+
+    Contiguous partitioning + ordered merge preserves the serial iteration
+    order exactly, which is what keeps parallel exploration deterministic.
+    """
+    from repro.harness.pool import RunTask, SweepPool, summarize_failures
+
+    chunk = (len(frontier) + jobs - 1) // jobs
+    tasks = [
+        RunTask.make(
+            "mc",
+            f"wave{wave}.part{i}",
+            config=model.config.as_dict(),
+            mutate=model.mutate,
+            states=tuple(frontier[lo:lo + chunk]),
+        )
+        for i, lo in enumerate(range(0, len(frontier), chunk))
+    ]
+    outcomes = SweepPool(jobs=jobs).run(tasks)
+    if any(not out.ok for out in outcomes):
+        raise summarize_failures(outcomes, len(tasks))
+    merged: list[list[tuple[Action, StateKey | None, Violation | None]]] = []
+    for out in outcomes:
+        for recs in out.value:
+            merged.append([
+                (
+                    Action.from_dict(action),
+                    succ,
+                    Violation.from_dict(violation) if violation else None,
+                )
+                for action, succ, violation in recs
+            ])
+    return merged
+
+
+def exec_mc_wave(config, states, mutate=None):
+    """Pool executor body for one frontier partition (task kind ``"mc"``).
+
+    Returns, per state, the full expansion as plain data:
+    ``[(action_dict, successor_key | None, violation_dict | None), ...]``.
+    State keys are nested tuples and survive pickling unchanged.
+    """
+    model = ProtocolModel(MCConfig.from_dict(dict(config)), mutate=mutate)
+    out = []
+    for key in states:
+        recs = []
+        for action in model.enabled_actions(key):
+            succ, violation = model.apply(key, action)
+            recs.append((
+                action.as_dict(), succ,
+                violation.as_dict() if violation else None,
+            ))
+        out.append(recs)
+    return out
+
+
+def _trace_back(
+    search: _Search, state: StateKey, final_action: Action, init: StateKey
+) -> list[Action]:
+    """The action path init → state, plus the violating action itself."""
+    path: list[Action] = [final_action]
+    key = state
+    while key != init:
+        key, action = search.parents[key]
+        path.append(action)
+    path.reverse()
+    return path
+
+
+def explore(
+    config: MCConfig,
+    *,
+    mutate: str | None = None,
+    jobs: int = 1,
+    metrics=None,
+    minimize: bool = True,
+    require_exhaustive: bool = False,
+) -> ExploreResult:
+    """Exhaust the state space of ``config`` (or stop at first violation).
+
+    ``mutate`` names a deliberately broken protocol shim from
+    :mod:`repro.mc.mutations` — the way the checker is pointed at a bug.
+    ``metrics`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    receiving ``mc.states`` / ``mc.transitions`` / ``mc.waves`` counters and
+    an ``mc.states_per_sec`` gauge.  ``require_exhaustive`` turns a budget
+    stop into an :class:`~repro.errors.McError` (CI wants "the space was
+    covered" to be a hard claim, not a hope).
+    """
+    if jobs < 1:
+        raise McError(f"--jobs must be >= 1, got {jobs}")
+    model = ProtocolModel(config, mutate=mutate)
+    init = model.initial_key()
+    search = _Search(visited={model.canonical(init)}, states=1)
+    frontier: list[StateKey] = [init]
+    depth = 0
+    exhausted = True
+    violation: Violation | None = None
+    vio_state: StateKey | None = None
+    vio_action: Action | None = None
+    start = time.perf_counter()
+
+    while frontier and violation is None:
+        if depth >= config.max_depth:
+            exhausted = False  # fairness bound hit with work remaining
+            break
+        if jobs > 1 and len(frontier) >= MIN_PARALLEL_FRONTIER:
+            expansions = _expand_pooled(model, frontier, jobs, depth)
+        else:
+            expansions = _expand_serial(model, frontier)
+        next_frontier: list[StateKey] = []
+        for state, recs in zip(frontier, expansions):
+            if not recs and not model.is_final(state):
+                violation = Violation(
+                    "deadlock",
+                    "non-final state has no enabled transitions",
+                )
+                vio_state, vio_action = state, None
+                break
+            for action, succ, vio in recs:
+                search.transitions += 1
+                if vio is not None:
+                    violation, vio_state, vio_action = vio, state, action
+                    break
+                canon = model.canonical(succ)
+                if canon in search.visited:
+                    continue
+                search.visited.add(canon)
+                search.parents[succ] = (state, action)
+                search.states += 1
+                next_frontier.append(succ)
+            if violation is not None:
+                break
+        if violation is not None:
+            break
+        depth += 1
+        frontier = next_frontier
+        if frontier and search.states >= config.max_states:
+            exhausted = False
+            break
+
+    elapsed = time.perf_counter() - start
+    result = ExploreResult(
+        config=config,
+        mutate=mutate,
+        states=search.states,
+        transitions=search.transitions,
+        depth=depth,
+        exhausted=exhausted and violation is None,
+        violation=violation,
+        elapsed=elapsed,
+        jobs=jobs,
+    )
+    if violation is not None:
+        if vio_action is None:
+            # a deadlock has no violating action; the path ends at the state
+            schedule = (
+                _trace_back(search, vio_state, Action(0, "barrier"), init)[:-1]
+                if vio_state != init else []
+            )
+        else:
+            schedule = _trace_back(search, vio_state, vio_action, init)
+        result.schedule_raw = len(schedule)
+        if minimize and vio_action is not None:
+            from repro.mc.counterexample import minimize_schedule
+
+            schedule = minimize_schedule(
+                config, schedule, violation, mutate=mutate
+            )
+        result.schedule = schedule
+    if metrics is not None:
+        metrics.counter("mc.states").inc(search.states)
+        metrics.counter("mc.transitions").inc(search.transitions)
+        metrics.counter("mc.waves").inc(depth)
+        metrics.gauge("mc.states_per_sec").set(int(result.states_per_sec))
+        if violation is not None:
+            metrics.counter("mc.violations").inc()
+    if require_exhaustive and not result.exhausted and violation is None:
+        raise McError(
+            f"exploration stopped at budget (states={search.states}, "
+            f"depth={depth}) before exhausting the space; raise "
+            f"--max-states/--max-depth or drop --require-exhaustive"
+        )
+    return result
+
+
+__all__ = ["ExploreResult", "MIN_PARALLEL_FRONTIER", "exec_mc_wave", "explore"]

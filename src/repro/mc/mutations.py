@@ -1,0 +1,75 @@
+"""Named, deliberately re-broken protocol shims for the model checker.
+
+Each mutation is an *instance-level* monkeypatch applied to one freshly
+materialized :class:`~repro.coherence.protocol.Dir1SWProtocol` — the
+production code on disk is never touched, and because the model checker
+rebuilds the protocol for every transition, the mutation is re-applied
+uniformly along every explored path.
+
+These exist for two reasons:
+
+* **Prove the checker has teeth.**  ``repro-mc explore --mutate
+  lost_invalidation`` must find a violation; a checker that passes every
+  mutant is testing nothing (plain mutation testing, aimed at the checker
+  itself).
+* **Keep committed counterexamples honest.**  Every
+  ``counterexamples/*.json`` records the mutation it was found under; CI
+  replays it against the mutant (must still fail) *and* against HEAD (must
+  pass), so a counterexample can never silently rot into vacuity.
+
+Mutations model real protocol-bug shapes: an invalidation acknowledged but
+never performed, a recall that forgets to downgrade the owner's copy, a
+directory that leaks check-ins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import McError
+
+
+def _lost_invalidation(proto) -> None:
+    """The single-sharer INV path acks the invalidation without performing
+    it: the victim cache keeps its copy (the "skip the invalidation ack"
+    bug).  A subsequent write then leaves a stale SHARED copy coexisting
+    with the new owner's EXCLUSIVE line — an SWMR violation."""
+    for cache in proto.caches:
+        real_lookup = cache.lookup
+
+        def invalidate(block, _lookup=real_lookup):
+            return _lookup(block)  # report the line, never remove it
+
+        cache.invalidate = invalidate
+
+
+def _skip_downgrade(proto) -> None:
+    """A recall delivers the data but never downgrades the old owner:
+    the reader and the stale owner both end up holding the block with one
+    copy still EXCLUSIVE."""
+    for cache in proto.caches:
+        cache.downgrade = lambda block: False
+
+
+def _forgetful_drop(proto) -> None:
+    """The directory loses every drop notification (check-ins, recalls,
+    invalidation completions): sharer sets leak, and directory/cache
+    agreement breaks on the next cross-check."""
+    proto.directory.drop = lambda block, node: None
+
+
+MUTATIONS = {
+    "lost_invalidation": _lost_invalidation,
+    "skip_downgrade": _skip_downgrade,
+    "forgetful_drop": _forgetful_drop,
+}
+
+
+def apply_mutation(proto, name: str) -> None:
+    """Apply the named mutation to a live protocol instance."""
+    fn = MUTATIONS.get(name)
+    if fn is None:
+        known = ", ".join(sorted(MUTATIONS))
+        raise McError(f"unknown protocol mutation {name!r} (known: {known})")
+    fn(proto)
+
+
+__all__ = ["MUTATIONS", "apply_mutation"]

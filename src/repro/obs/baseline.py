@@ -82,6 +82,7 @@ def bench_workload(
     policy=None,
     trace_dir: str | None = None,
     timings: dict | None = None,
+    verify: bool = False,
 ) -> dict:
     """Run ``variants`` of workload ``name`` and return the bench dict.
 
@@ -95,6 +96,12 @@ def bench_workload(
     Host times never enter the returned bench dict — BENCH files must stay
     byte-identical across hosts and runs (the determinism contract of the
     parallel sweep); they feed the perf-history ledger instead.
+
+    With ``verify`` each run executes under the online invariant checker
+    (property-cached, so the overhead is a few percent).  Verification
+    observes the run without perturbing it, so BENCH bytes are identical
+    with and without; a violation raises :class:`~repro.errors.VerifyError`
+    and fails the bench.
     """
     from repro.cachier.annotator import Policy
     from repro.harness.variants import PLAIN, build_variants
@@ -135,7 +142,8 @@ def bench_workload(
                   "variant": variant},
         )
         result, _ = run_program(
-            programs[variant], spec.config, spec.params_fn, observer=observer
+            programs[variant], spec.config, spec.params_fn, observer=observer,
+            verify=verify, verify_label=f"{name}/{variant}",
         )
         out["variants"][variant] = _variant_record(result, observer.observation)
         if timings is not None:

@@ -215,10 +215,13 @@ class EventBus:
     is listening.
     """
 
-    __slots__ = ("_subs", "_next_token")
+    __slots__ = ("_subs", "_seq", "_next_token")
 
     def __init__(self) -> None:
         self._subs: dict[EventKind, dict[int, Handler]] = {}
+        # per-kind delivery order, precomputed at (un)subscribe time so
+        # publish does not re-tuple the handler dict on every event
+        self._seq: dict[EventKind, tuple[Handler, ...]] = {}
         self._next_token = 0
 
     # ------------------------------------------------------------- queries
@@ -245,27 +248,33 @@ class EventBus:
         token = self._next_token
         self._next_token += 1
         for kind in EventKind if kinds is None else kinds:
-            self._subs.setdefault(EventKind(kind), {})[token] = handler
+            kind = EventKind(kind)
+            self._subs.setdefault(kind, {})[token] = handler
+            self._seq[kind] = tuple(self._subs[kind].values())
         return token
 
     def unsubscribe(self, token: int) -> None:
         """Remove every subscription registered under ``token``."""
         for kind in list(self._subs):
             handlers = self._subs[kind]
-            handlers.pop(token, None)
-            if not handlers:
+            if handlers.pop(token, None) is None:
+                continue
+            if handlers:
+                self._seq[kind] = tuple(handlers.values())
+            else:
                 del self._subs[kind]
+                del self._seq[kind]
 
     # ----------------------------------------------------------- publishing
     def publish(self, event) -> None:
         """Deliver ``event`` to every subscriber of its kind, in order."""
-        handlers = self._subs.get(event.kind)
+        handlers = self._seq.get(event.kind)
         if handlers:
             prof = hostprof.ACTIVE
             if prof is not None:
                 prof.push("obs")
             try:
-                for handler in tuple(handlers.values()):
+                for handler in handlers:
                     handler(event)
             finally:
                 if prof is not None:

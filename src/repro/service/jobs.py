@@ -169,6 +169,7 @@ def normalize_spec(kind: str, params: dict | None, *,
             "kind": kind,
             "workload": _known_workload(params.get("workload", "mp3d")),
             "variants": variants,
+            "verify": _bool(params, "verify", verify_default),
         }
 
     # profile / critpath / verify share the (workload, variant) shape
@@ -294,6 +295,8 @@ def _exec_bench(spec: dict, artifact_dir: str, ctx: ExecContext) -> dict:
     kwargs = {}
     if spec["variants"]:
         kwargs["variants"] = tuple(spec["variants"])
+    if spec.get("verify"):
+        kwargs["verify"] = True
     timings: dict = {}
     if ctx.history_path:
         # Host timings feed the daemon's perf ledger (served at

@@ -35,11 +35,12 @@ it, and costs nothing when not subscribed (the bus's ``wants`` guards).
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cache.state import LineState
 from repro.coherence.directory import DirState
+from repro.coherence.protocol import AccessKind
 from repro.errors import ProtocolError, VerifyError
 from repro.machine.events import (
     DIR_CHECK_IN,
@@ -49,11 +50,172 @@ from repro.machine.events import (
 )
 from repro.obs import hostprof
 from repro.obs.events import EventBus, EventKind
+from repro.verify.format import format_cache_line, format_dir_entry
 
-__all__ = ["InvariantChecker", "VerifyReport", "verify_run"]
+__all__ = ["InvariantChecker", "PropertyCache", "VerifyReport", "verify_run"]
 
 _OUT = "out"
 _IN = "in"
+
+
+# ------------------------------------------------------- lazy event records
+#
+# The evidence-chain ring buffers are written on *every* bus event but read
+# only when a violation is raised — which is never, on a healthy run.  So
+# the hot path stores ``(tag, event, ...)`` tuples (events are frozen
+# dataclasses, safe to retain) and the formatting below runs only inside
+# ``_chain``.  This is most of what makes always-on ``--verify``
+# affordable; the rendered text is unchanged.
+
+def _fmt_access(r):
+    _, ev, block = r
+    result = ev.result
+    text = (
+        f"t={ev.t} node={ev.node} {'WRITE' if ev.write else 'READ'} "
+        f"addr={ev.addr:#x} block={block} pc={ev.pc} -> {result.kind.value}"
+    )
+    if result.detail:
+        text += f"/{result.detail}"
+    if result.txn >= 0:
+        text += f" txn={result.txn}"
+    return text
+
+
+_RECORD_FORMATS = {
+    "access": _fmt_access,
+    "trap": lambda r: (
+        f"t={r[1].t} node={r[1].node} TRAP block={r[1].block} "
+        f"copies={r[1].copies} txn={r[1].txn}"
+    ),
+    "recall": lambda r: (
+        f"t={r[1].t} node={r[1].node} RECALL block={r[1].block} "
+        f"owner={r[1].owner} txn={r[1].txn}"
+    ),
+    "msg": lambda r: (
+        f"t={r[1].t} node={r[1].node} MSG {r[1].msg.value} "
+        f"x{r[1].count} txn={r[1].txn}"
+    ),
+    "done": lambda r: f"t={r[1].t} node={r[1].node} DONE",
+    "lock": lambda r: (
+        f"t={r[1].t} node={r[1].node} {r[1].kind.name} addr={r[1].addr:#x}"
+    ),
+    "directive": lambda r: (
+        f"t={r[1].t} node={r[1].node} DIRECTIVE {r[2]} "
+        f"blocks={list(r[3])} pc={r[1].pc}"
+    ),
+}
+
+
+def _format_record(rec: tuple) -> str:
+    return _RECORD_FORMATS[rec[0]](rec)
+
+
+def _record_txn(rec: tuple) -> int:
+    """The slow-path transaction a logged record belongs to (cold path)."""
+    event = rec[1]
+    if rec[0] == "access":
+        return event.result.txn
+    return getattr(event, "txn", -1)
+
+
+class PropertyCache:
+    """Memoized barrier scan (Stulova et al.-style unobtrusive caching).
+
+    The full directory/cache cross-check at every barrier is the dominant
+    cost of ``--verify``: it re-walks every directory entry and every cache
+    even though most blocks were untouched since the previous barrier.
+    This cache memoizes both scan directions on *version counters* the
+    state carriers already maintain:
+
+    * forward (directory → caches), per block: keyed on
+      ``(entry.version, the sharers' per-block cache versions)`` — an
+      entry whose fields and whose sharers' copies of *this block* are
+      unchanged cannot have changed its verdict, so it is skipped;
+    * reverse (cache → directory), per node: keyed on
+      ``(cache.version, directory.node_version(node))`` — an unchanged
+      node's line walk is skipped and its line snapshot reused for the
+      SWMR holders map.
+
+    Keys are recorded only *after* a block/node passes, so a failure is
+    never memoized, and the counters are monotone, so a state that changes
+    and changes back still forces a recheck (no ABA).  Tampering with
+    entry fields or cache residency through the official mutation API —
+    including single-field writes like ``entry.ptr = 2`` — bumps a version
+    and defeats the memo; that is what the mutation tests pin.
+    """
+
+    def __init__(self, protocol):
+        self.protocol = protocol
+        self._entry_keys: dict[int, tuple] = {}
+        self._node_keys: dict[int, tuple] = {}
+        self._node_lines: dict[int, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def scan(self) -> dict[int, list[tuple[int, LineState]]]:
+        """The memoized equivalent of :meth:`Dir1SWProtocol.invariant_check`
+        plus the holders map the SWMR scan needs.  Raises the identical
+        :class:`~repro.errors.ProtocolError` diagnostics on disagreement.
+        """
+        proto = self.protocol
+        caches = proto.caches
+        for block, entry in proto.directory.entries().items():
+            key = (
+                entry.version,
+                tuple(caches[h].block_version(block)
+                      for h in sorted(entry.sharers)),
+            )
+            if self._entry_keys.get(block) == key:
+                self.hits += 1
+                continue
+            self.misses += 1
+            entry.check()
+            want = (
+                LineState.EXCLUSIVE
+                if entry.state is DirState.RW
+                else LineState.SHARED
+            )
+            for holder in entry.sharers:
+                line = caches[holder].lookup(block)
+                if line is None:
+                    raise ProtocolError(
+                        f"directory lists node {holder} for block {block} "
+                        f"but its cache has no line"
+                    )
+                if line.state is not want:
+                    raise ProtocolError(
+                        f"block {block}: node {holder} line is {line.state}, "
+                        f"directory says {entry.state}"
+                    )
+            self._entry_keys[block] = key
+        holders: dict[int, list[tuple[int, LineState]]] = {}
+        for node, cache in enumerate(caches):
+            key = (cache.version, proto.directory.node_version(node))
+            lines = self._node_lines.get(node)
+            if self._node_keys.get(node) == key and lines is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+                snap = []
+                for line in cache.lines():
+                    entry = proto.directory.peek(line.block)
+                    if entry is None or node not in entry.sharers:
+                        raise ProtocolError(
+                            f"node {node} caches block {line.block} "
+                            f"unknown to directory"
+                        )
+                    snap.append((line.block, line.state))
+                lines = tuple(snap)
+                self._node_keys[node] = key
+                self._node_lines[node] = lines
+            for block, state in lines:
+                holders.setdefault(block, []).append((node, state))
+        return holders
 
 
 @dataclass
@@ -70,6 +232,8 @@ class VerifyReport:
     events: dict[str, int] = field(default_factory=dict)
     #: CICO discipline findings (warnings unless strict_cico)
     warnings: list[str] = field(default_factory=list)
+    #: property-cache effectiveness ({} when the cache was disabled)
+    cache: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -79,6 +243,7 @@ class VerifyReport:
             "checks": dict(self.checks),
             "events": dict(self.events),
             "warnings": list(self.warnings),
+            "cache": dict(self.cache),
         }
 
 
@@ -97,10 +262,18 @@ class InvariantChecker:
         strict_cico: bool = False,
         chain_depth: int = 24,
         label: str = "",
+        property_cache: bool = True,
+        metrics=None,
     ):
         self.protocol = protocol
         self.strict_cico = strict_cico
         self.label = label
+        #: barrier-scan memoization (on by default; ``property_cache=False``
+        #: restores the full-rescan behaviour, kept for the conservation
+        #: tests and for debugging the cache itself)
+        self.property_cache = PropertyCache(protocol) if property_cache else None
+        #: optional MetricsRegistry receiving verify.scan/cache counters
+        self.metrics = metrics
         self._shift = protocol.block_size.bit_length() - 1
         n = protocol.num_nodes
         # CICO discipline state, reset at every barrier: block -> _OUT | _IN
@@ -108,11 +281,23 @@ class InvariantChecker:
         self._done: set[int] = set()
         self._epoch = 0
         self._last_vt = 0
-        # recent-event ring buffers: per node, plus per slow-path txn
-        self._recent: list[deque[str]] = [
+        # recent-event ring buffers: per node, plus one global bounded log
+        # of txn-tagged records (filtered by txn id on failure — a flat
+        # deque append is far cheaper per event than per-txn dict upkeep)
+        self._recent: list[deque[tuple]] = [
             deque(maxlen=chain_depth) for _ in range(n)
         ]
-        self._txn_events: OrderedDict[int, list[str]] = OrderedDict()
+        self._txn_log: deque[tuple] = deque(maxlen=16 * chain_depth)
+        # per-write SWMR memo (see _on_access); same flag as the barrier
+        # scan cache so ``property_cache=False`` restores full rechecking
+        self._swmr_keys: dict[int, tuple] | None = (
+            {} if property_cache else None
+        )
+        self._swmr_hits = 0
+        self._swmr_misses = 0
+        self._block_versions = tuple(
+            cache.block_versions for cache in protocol.caches
+        )
         self._counts = {
             "accesses": 0, "hits": 0, "traps": 0, "recalls": 0,
             "messages": 0, "barriers": 0, "directives": 0, "node_done": 0,
@@ -126,157 +311,198 @@ class InvariantChecker:
 
     # -------------------------------------------------------------- wiring
     def subscribe(self, bus: EventBus) -> int:
-        """Listen to every event kind; returns the bus token."""
-        return bus.subscribe(None, self._handle)
+        """Listen to every event kind; returns the primary bus token.
+
+        The two hot kinds — ACCESS and MESSAGE — get dedicated handlers
+        that skip the dispatch chain entirely; like the catch-all handler
+        they stay registered for the bus's lifetime (nothing unsubscribes
+        a checker mid-run).
+        """
+        bus.subscribe((EventKind.ACCESS,), self._on_access)
+        bus.subscribe((EventKind.MESSAGE,), self._on_message)
+        rest = [
+            kind for kind in EventKind
+            if kind not in (EventKind.ACCESS, EventKind.MESSAGE)
+        ]
+        return bus.subscribe(rest, self._handle)
 
     def _handle(self, event) -> None:
         # Credit checker time to the "verify" host phase (it otherwise hides
         # inside "obs", the bus-dispatch region the publish wraps us in).
         prof = hostprof.ACTIVE
         if prof is None:
-            self._on_event(event)
+            self._dispatch(event)
             return
         prof.push("verify")
         try:
-            self._on_event(event)
+            self._dispatch(event)
         finally:
             prof.pop()
 
-    def _on_event(self, event) -> None:
+    def _on_message(self, event) -> None:
+        # One call per protocol message — second-hottest path.  Count for
+        # conservation, log for txn evidence; deliberately no hostprof
+        # bracket (the body is thinner than the bracketing would be).
+        self._counts["messages"] += event.count
+        if event.txn >= 0:
+            self._txn_log.append(("msg", event))
+
+    def _dispatch(self, event) -> None:
         kind = event.kind
-        if kind is EventKind.ACCESS:
-            self._on_access(event)
-        elif kind is EventKind.DIRECTIVE:
+        if kind is EventKind.DIRECTIVE:
             self._on_directive(event)
         elif kind is EventKind.BARRIER:
             self._on_barrier(event)
         elif kind is EventKind.TRAP:
             self._counts["traps"] += 1
-            self._remember(event.node, event.txn,
-                           f"t={event.t} node={event.node} TRAP block={event.block} "
-                           f"copies={event.copies} txn={event.txn}")
+            self._remember(event.node, event.txn, ("trap", event))
         elif kind is EventKind.RECALL:
             self._counts["recalls"] += 1
-            self._remember(event.node, event.txn,
-                           f"t={event.t} node={event.node} RECALL block={event.block} "
-                           f"owner={event.owner} txn={event.txn}")
-        elif kind is EventKind.MESSAGE:
-            self._counts["messages"] += event.count
-            if event.txn >= 0:
-                self._txn_note(event.txn,
-                               f"t={event.t} node={event.node} MSG "
-                               f"{event.msg.value} x{event.count} txn={event.txn}")
+            self._remember(event.node, event.txn, ("recall", event))
         elif kind is EventKind.NODE_DONE:
             self._counts["node_done"] += 1
             self._done.add(event.node)
-            self._remember(event.node, -1,
-                           f"t={event.t} node={event.node} DONE")
+            self._remember(event.node, -1, ("done", event))
         # lock events only feed the ring buffers
         elif kind in (EventKind.LOCK_ACQUIRE, EventKind.LOCK_CONTEND,
                       EventKind.LOCK_RELEASE):
-            self._remember(event.node, -1,
-                           f"t={event.t} node={event.node} {kind.name} "
-                           f"addr={event.addr:#x}")
+            self._remember(event.node, -1, ("lock", event))
 
     # ------------------------------------------------------- event history
-    def _remember(self, node: int, txn: int, text: str) -> None:
+    def _remember(self, node: int, txn: int, rec: tuple) -> None:
         if 0 <= node < len(self._recent):
-            self._recent[node].append(text)
+            self._recent[node].append(rec)
         if txn >= 0:
-            self._txn_note(txn, text)
-
-    def _txn_note(self, txn: int, text: str) -> None:
-        self._txn_events.setdefault(txn, []).append(text)
-        while len(self._txn_events) > 64:
-            self._txn_events.popitem(last=False)
+            self._txn_log.append(rec)
 
     def _chain(self, node: int | None, txn: int = -1) -> tuple[str, ...]:
         """The evidence attached to a VerifyError: the node's recent events
         plus, when the violation sits in a slow-path transaction, every
-        event that transaction raised (possibly on other nodes)."""
+        recent event that transaction raised (possibly on other nodes).
+        Records are rendered here, on failure — never on the hot path."""
         chain: list[str] = []
         if node is not None and 0 <= node < len(self._recent):
-            chain.extend(self._recent[node])
+            chain.extend(_format_record(r) for r in self._recent[node])
         if txn >= 0:
-            for text in self._txn_events.get(txn, ()):
+            for rec in self._txn_log:
+                if _record_txn(rec) != txn:
+                    continue
+                text = _format_record(rec)
                 if text not in chain:
                     chain.append(text)
         return tuple(chain)
 
     # ------------------------------------------------------------- access
     def _on_access(self, ev) -> None:
-        self._counts["accesses"] += 1
-        result = ev.result
-        kindname = result.kind.value
-        if kindname == "hit" and result.detail != "prefetched":
-            self._counts["hits"] += 1
-        block = ev.addr >> self._shift
-        self._remember(
-            ev.node, result.txn,
-            f"t={ev.t} node={ev.node} {'WRITE' if ev.write else 'READ'} "
-            f"addr={ev.addr:#x} block={block} pc={ev.pc} -> {kindname}"
-            + (f"/{result.detail}" if result.detail else "")
-            + (f" txn={result.txn}" if result.txn >= 0 else ""),
-        )
-        proto = self.protocol
-        line = proto.caches[ev.node].lookup(block)
-        if ev.write:
-            self._checks["swmr"] += 1
-            if line is None or line.state is not LineState.EXCLUSIVE:
-                raise VerifyError(
-                    "swmr",
-                    f"after a write the writer must hold the block "
-                    f"EXCLUSIVE, found {line.state.value if line else 'no line'}",
-                    node=ev.node, epoch=ev.epoch, block=block,
-                    chain=self._chain(ev.node, result.txn),
-                )
-            entry = proto.directory.peek(block)
-            if entry is None or entry.state is not DirState.RW or entry.ptr != ev.node:
-                raise VerifyError(
-                    "swmr",
-                    f"after a write the directory must record the writer as "
-                    f"exclusive owner, found {entry}",
-                    node=ev.node, epoch=ev.epoch, block=block,
-                    chain=self._chain(ev.node, result.txn),
-                )
-            for other, cache in enumerate(proto.caches):
-                if other != ev.node and cache.lookup(block) is not None:
-                    raise VerifyError(
-                        "swmr",
-                        f"node {other} still holds a copy of a block node "
-                        f"{ev.node} just wrote",
-                        node=ev.node, epoch=ev.epoch, block=block,
-                        chain=self._chain(ev.node, result.txn),
+        # The hottest handler (one per shared reference), subscribed
+        # directly so the bus's dispatch is the only indirection.
+        prof = hostprof.ACTIVE
+        if prof is not None:
+            prof.push("verify")
+        try:
+            counts = self._counts
+            counts["accesses"] += 1
+            result = ev.result
+            hit = result.kind is AccessKind.HIT
+            if hit and result.detail != "prefetched":
+                counts["hits"] += 1
+            block = ev.addr >> self._shift
+            rec = ("access", ev, block)
+            self._recent[ev.node].append(rec)
+            if result.txn >= 0:
+                self._txn_log.append(rec)
+            if ev.write:
+                self._checks["swmr"] += 1
+                entry = self.protocol.directory.peek(block)
+                memo = self._swmr_keys
+                if memo is not None and entry is not None:
+                    # Version-keyed SWMR memo: the write check reads only
+                    # the directory entry's fields and each cache's copy of
+                    # ``block``.  Entry fields bump ``entry.version`` on any
+                    # write (DirEntry.__setattr__) and every residency or
+                    # state change of a block in a cache bumps that cache's
+                    # per-block counter — so an unchanged key means the
+                    # exact state a previous check passed on, and rogue
+                    # single-field tampering still defeats the memo.
+                    key = (
+                        ev.node,
+                        entry.version,
+                        *[bv.get(block, 0) for bv in self._block_versions],
                     )
-        else:
-            if line is None:
+                    if memo.get(block) == key:
+                        self._swmr_hits += 1
+                    else:
+                        self._swmr_misses += 1
+                        self._check_write(ev, block, entry)
+                        memo[block] = key  # pass verified at these versions
+                else:
+                    self._check_write(ev, block, entry)
+            elif not hit and self.protocol.caches[ev.node].lookup(block) is None:
+                # A read HIT needs no recheck: the protocol reported HIT
+                # precisely because lookup found the line in the same
+                # structure we would re-read.  Miss/fault results carry a
+                # real claim — the slow path installed the line — so those
+                # are verified.
                 raise VerifyError(
                     "dir-cache-agreement",
-                    "after a read the reader's cache must hold the block",
+                    "after a read miss the reader's cache must hold the "
+                    "installed block",
                     node=ev.node, epoch=ev.epoch, block=block,
                     chain=self._chain(ev.node, result.txn),
                 )
-        # Performance-CICO discipline: touching a block this node explicitly
-        # checked in earlier in the epoch means the check-in was premature.
-        marks = self._cico[ev.node]
-        if marks.get(block) == _IN:
-            self._checks["cico-discipline"] += 1
-            self._cico_finding(
-                f"node {ev.node} accessed block {block} (pc {ev.pc}) after "
-                f"checking it in — premature check-in",
-                node=ev.node, epoch=ev.epoch, block=block, txn=result.txn,
+            # Performance-CICO discipline: touching a block this node
+            # explicitly checked in earlier means a premature check-in.
+            marks = self._cico[ev.node]
+            if marks.get(block) == _IN:
+                self._checks["cico-discipline"] += 1
+                self._cico_finding(
+                    f"node {ev.node} accessed block {block} (pc {ev.pc}) "
+                    f"after checking it in — premature check-in",
+                    node=ev.node, epoch=ev.epoch, block=block,
+                    txn=result.txn,
+                )
+                del marks[block]  # the access implicitly re-checked it out
+        finally:
+            if prof is not None:
+                prof.pop()
+
+    def _check_write(self, ev, block: int, entry) -> None:
+        """The full (unmemoized) SWMR post-write check."""
+        proto = self.protocol
+        line = proto.caches[ev.node].lookup(block)
+        if line is None or line.state is not LineState.EXCLUSIVE:
+            raise VerifyError(
+                "swmr",
+                f"after a write the writer must hold the block "
+                f"EXCLUSIVE, found {format_cache_line(line)}",
+                node=ev.node, epoch=ev.epoch, block=block,
+                chain=self._chain(ev.node, ev.result.txn),
             )
-            del marks[block]  # the access implicitly re-checked it out
+        if entry is None or entry.state is not DirState.RW or entry.ptr != ev.node:
+            raise VerifyError(
+                "swmr",
+                f"after a write the directory must record the writer as "
+                f"exclusive owner, found {format_dir_entry(entry)}",
+                node=ev.node, epoch=ev.epoch, block=block,
+                chain=self._chain(ev.node, ev.result.txn),
+            )
+        for other, cache in enumerate(proto.caches):
+            if other != ev.node and cache.lookup(block) is not None:
+                raise VerifyError(
+                    "swmr",
+                    f"node {other} still holds a copy of a block node "
+                    f"{ev.node} just wrote",
+                    node=ev.node, epoch=ev.epoch, block=block,
+                    chain=self._chain(ev.node, ev.result.txn),
+                )
 
     # ---------------------------------------------------------- directives
     def _on_directive(self, ev) -> None:
         self._counts["directives"] += 1
         name = DIRECTIVE_NAMES.get(ev.dkind, str(ev.dkind))
-        self._remember(
-            ev.node, -1,
-            f"t={ev.t} node={ev.node} DIRECTIVE {name} "
-            f"blocks={list(ev.blockset)} pc={ev.pc}",
-        )
+        self._remember(ev.node, -1, (
+            "directive", ev, name, tuple(ev.blockset),
+        ))
         proto = self.protocol
         marks = self._cico[ev.node]
         if ev.dkind in (DIR_CHECK_OUT_S, DIR_CHECK_OUT_X):
@@ -288,7 +514,7 @@ class InvariantChecker:
                     raise VerifyError(
                         "dir-cache-agreement",
                         "after check_out_X the held line must be EXCLUSIVE, "
-                        f"found {line.state.value}",
+                        f"found {format_cache_line(line)}",
                         node=ev.node, epoch=ev.epoch, block=block,
                         chain=self._chain(ev.node),
                     )
@@ -372,21 +598,42 @@ class InvariantChecker:
             marks.clear()
 
     def _scan_state(self, epoch: int) -> None:
-        """Full directory/cache cross-check + cache-side SWMR scan."""
+        """Full directory/cache cross-check + cache-side SWMR scan.
+
+        With the property cache enabled (the default) blocks and nodes
+        whose version counters are unchanged since the last barrier are
+        skipped; the verdict is identical either way because a pass is
+        only ever memoized together with the versions it was computed at.
+        """
         proto = self.protocol
         self._checks["dir-cache-agreement"] += 1
+        pcache = self.property_cache
         try:
-            proto.invariant_check()
+            if pcache is not None:
+                before_hits, before_misses = pcache.hits, pcache.misses
+                holders = pcache.scan()
+                if self.metrics is not None:
+                    self.metrics.counter("verify.scans").inc()
+                    self.metrics.counter("verify.cache_hits").inc(
+                        pcache.hits - before_hits
+                    )
+                    self.metrics.counter("verify.cache_misses").inc(
+                        pcache.misses - before_misses
+                    )
+            else:
+                proto.invariant_check()
+                holders = {}
+                for node, cache in enumerate(proto.caches):
+                    for line in cache.lines():
+                        holders.setdefault(line.block, []).append(
+                            (node, line.state)
+                        )
         except ProtocolError as exc:
             raise VerifyError(
                 "dir-cache-agreement", str(exc), epoch=epoch,
                 chain=self._chain(None),
             ) from exc
         self._checks["swmr"] += 1
-        holders: dict[int, list[tuple[int, LineState]]] = {}
-        for node, cache in enumerate(proto.caches):
-            for line in cache.lines():
-                holders.setdefault(line.block, []).append((node, line.state))
         for block, held in holders.items():
             if len(held) > 1 and any(
                 state is LineState.EXCLUSIVE for _, state in held
@@ -424,12 +671,23 @@ class InvariantChecker:
         return self.report()
 
     def report(self) -> VerifyReport:
+        pcache = self.property_cache
         return VerifyReport(
             label=self.label,
             ok=True,
             checks=dict(self._checks),
             events=dict(self._counts),
             warnings=list(self.warnings),
+            cache=(
+                {
+                    "hits": pcache.hits,
+                    "misses": pcache.misses,
+                    "hit_rate": round(pcache.hit_rate, 4),
+                    "swmr_hits": self._swmr_hits,
+                    "swmr_misses": self._swmr_misses,
+                }
+                if pcache is not None else {}
+            ),
         )
 
     def failure_report(self, exc: VerifyError) -> VerifyReport:

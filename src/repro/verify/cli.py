@@ -15,9 +15,13 @@ crashing run becomes a FAIL line plus a structured error row instead of
 aborting the remaining runs (``--jobs 1``, the default, keeps the serial
 fail-fast behaviour for debugging).
 
-Exit status: 0 when every run verified clean, 2 on a violation (the
-:class:`~repro.errors.VerifyError` diagnostic names the invariant, node,
-epoch, block and recent event chain), a crashed run, or bad arguments.
+Exit status: 0 when every run verified clean; **1** when one or more runs
+completed but an invariant failed (the :class:`~repro.errors.VerifyError`
+diagnostic names the invariant, node, epoch, block and recent event
+chain); 2 for tool-level failures — bad arguments, unknown workloads,
+crashed workers — per the ``run_cli`` contract.  "The protocol is broken"
+and "the tool could not tell" are different answers, and CI wants to
+distinguish them.
 
 Example::
 
@@ -47,9 +51,14 @@ def _write_report(path: str, reports: list[dict]) -> None:
     atomic_write_json(path, {"runs": reports}, indent=2, sort_keys=True)
 
 
+#: exit status when a run completed but an invariant failed (distinct from
+#: usage/crash failures, which exit 2 via run_cli)
+EXIT_VIOLATION = 1
+
+
 def _run_serial(args, policy, workloads, variants) -> int:
     """The pre-pool in-process path (``--jobs 1``): fail fast on the first
-    violation, raising the VerifyError itself."""
+    violation, printing the full VerifyError diagnostic and exiting 1."""
     reports: list[dict] = []
     failures = 0
     for name in workloads:
@@ -75,9 +84,13 @@ def _run_serial(args, policy, workloads, variants) -> int:
                 )
                 if args.report_out:
                     _write_report(args.report_out, reports)
-                if not args.json:
+                if args.json:
+                    print(json.dumps({"runs": reports}, indent=2,
+                                     sort_keys=True))
+                else:
                     print(f"FAIL  {label}")
-                raise
+                    print(exc)
+                return EXIT_VIOLATION
             report = result.extra["verify_report"]
             reports.append(report.as_dict())
             if not args.json:
@@ -93,7 +106,7 @@ def _run_serial(args, policy, workloads, variants) -> int:
         _write_report(args.report_out, reports)
     if args.json:
         print(json.dumps({"runs": reports}, indent=2, sort_keys=True))
-    return 0 if failures == 0 else 2
+    return 0 if failures == 0 else EXIT_VIOLATION
 
 
 def _run_pooled(args, policy, workloads, variants, jobs) -> int:
@@ -153,9 +166,11 @@ def _run_pooled(args, policy, workloads, variants, jobs) -> int:
         print(json.dumps({"runs": reports}, indent=2, sort_keys=True))
     pool_errors = [out for out in outcomes if not out.ok]
     if pool_errors:
+        # worker crashes / retry exhaustion: the tool could not verify, a
+        # different failure than "verified and found a violation" (exit 1)
         print(render_errors(pool_errors))
         raise summarize_failures(pool_errors, total=len(tasks))
-    return 0 if not failed_runs else 2
+    return 0 if not failed_runs else EXIT_VIOLATION
 
 
 def _main(argv=None) -> int:

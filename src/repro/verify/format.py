@@ -1,0 +1,46 @@
+"""Compact one-line rendering of protocol state for human-facing traces.
+
+:class:`~repro.errors.VerifyError` diagnostics and ``repro-mc replay``
+output both need to name cache lines, directory entries and event chains in
+a form a person can scan — the raw dataclass reprs
+(``DirEntry(state=<DirState.RW: 'RW'>, count=1, ptr=0, sharers={0})``)
+bury the three fields that matter under enum noise.  This module is the one
+place that decides the compact shape, so a counterexample trace and an
+online-checker failure read the same way:
+
+* directory entry — ``dir[RW count=1 ptr=0 sharers=0]``
+* cache line — ``S``, ``X``, ``X*`` (the star marks dirty)
+* event chain — the checker's per-event strings, one per line, indented.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_cache_line",
+    "format_chain",
+    "format_dir_entry",
+]
+
+
+def format_dir_entry(entry) -> str:
+    """``dir[RW count=1 ptr=0 sharers=0]`` (or ``dir[Idle]`` / ``absent``)."""
+    if entry is None:
+        return "absent"
+    state = entry.state.value
+    if not entry.sharers and entry.count == 0 and entry.ptr is None:
+        return f"dir[{state}]"
+    sharers = ",".join(str(n) for n in sorted(entry.sharers)) or "-"
+    ptr = "-" if entry.ptr is None else str(entry.ptr)
+    return f"dir[{state} count={entry.count} ptr={ptr} sharers={sharers}]"
+
+
+def format_cache_line(line) -> str:
+    """``S`` / ``X`` / ``X*`` for a resident line, ``absent`` for none."""
+    if line is None:
+        return "absent"
+    return line.state.value + ("*" if line.dirty else "")
+
+
+def format_chain(chain, indent: str = "    ") -> str:
+    """An event chain as indented one-per-line text (empty chain: '')."""
+    return "\n".join(f"{indent}{event}" for event in chain)

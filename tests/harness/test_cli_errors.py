@@ -187,6 +187,55 @@ def test_figure6_cli_bad_jobs_env_exits_2(capsys, monkeypatch):
     assert "REPRO_JOBS" in err
 
 
+# ------------------------------------------- verify exit-code contract
+#
+# ``repro-verify`` distinguishes "the protocol is broken" from "the tool
+# could not tell": a run that completed but failed an invariant exits 1
+# (a result), while usage errors and worker crashes stay on exit 2.
+
+def test_verify_cli_invariant_failure_exits_1_serial(capsys):
+    from repro.verify.cli import main
+
+    # strict mode promotes mp3d/cachier's CICO warnings to a VerifyError:
+    # a real invariant failure driven through the real pipeline
+    rc = main(["--workload", "mp3d", "--variant", "cachier", "--strict"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "FAIL  mp3d/cachier" in captured.out
+    assert "cico-discipline" in captured.out  # the full diagnostic printed
+    assert captured.err == ""  # a result, not a tool error
+
+
+def test_verify_cli_invariant_failure_exits_1_pooled(capsys):
+    from repro.verify.cli import main
+
+    rc = main([
+        "--workload", "mp3d", "--variant", "plain", "--variant", "cachier",
+        "--strict", "--jobs", "2",
+    ])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "PASS  mp3d/plain" in captured.out  # the sweep completed
+    assert "FAIL  mp3d/cachier" in captured.out
+    assert captured.err == ""
+
+
+def test_verify_cli_serial_failure_still_writes_report(tmp_path, capsys):
+    import json
+
+    from repro.verify.cli import main
+
+    report = tmp_path / "report.json"
+    rc = main([
+        "--workload", "mp3d", "--variant", "cachier", "--strict",
+        "--report-out", str(report),
+    ])
+    assert rc == 1
+    capsys.readouterr()
+    payload = json.loads(report.read_text(encoding="ascii"))
+    assert payload["runs"][0]["ok"] is False
+
+
 def test_verify_cli_parallel_crash_exits_2(capsys, monkeypatch):
     from repro.harness.pool import CRASH_ENV
     from repro.verify.cli import main

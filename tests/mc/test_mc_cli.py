@@ -1,0 +1,144 @@
+"""``repro-mc`` end to end: exit codes, artifacts, output shape.
+
+The exit-code contract under test: 0 = clean result, 1 = a violation was
+found (or failed to reproduce under ``--expect-violation``), 2 = tool-level
+errors through ``run_cli`` (bad flags, unknown mutations, stale artifacts,
+budget stops under ``--require-exhaustive``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cliutil import EXIT_ERROR
+from repro.mc.cli import EXIT_VIOLATION, main
+
+FAST = ["--ops-per-epoch", "1", "--no-faults"]
+
+
+def test_explore_clean_exits_0(capsys):
+    rc = main(["explore", *FAST])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "exhausted" in out
+    assert "no violations" in out
+
+
+def test_explore_mutant_exits_1_and_writes_artifacts(tmp_path, capsys):
+    ce_path = tmp_path / "ce.json"
+    stats_path = tmp_path / "stats.json"
+    rc = main([
+        "explore", "--mutate", "skip_downgrade",
+        "--out", str(ce_path), "--stats-out", str(stats_path),
+    ])
+    assert rc == EXIT_VIOLATION
+    out = capsys.readouterr().out
+    assert "VIOLATION [" in out
+    assert "counterexample:" in out
+    ce = json.loads(ce_path.read_text())
+    assert ce["mutation"] == "skip_downgrade"
+    assert ce["schedule"]
+    stats = json.loads(stats_path.read_text())
+    assert stats["violation"]["invariant"] == ce["violation"]["invariant"]
+    assert stats["states"] > 0
+
+
+def test_explore_stats_out_on_clean_run(tmp_path, capsys):
+    stats_path = tmp_path / "stats.json"
+    rc = main(["explore", *FAST, "--stats-out", str(stats_path)])
+    assert rc == 0
+    stats = json.loads(stats_path.read_text())
+    assert stats["exhausted"] is True and stats["violation"] is None
+
+
+def test_explore_unknown_mutation_exits_2(capsys):
+    rc = main(["explore", "--mutate", "nope"])
+    assert rc == EXIT_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("repro-mc: error: unknown protocol mutation")
+
+
+def test_explore_bad_config_exits_2(capsys):
+    rc = main(["explore", "--nodes", "9"])
+    assert rc == EXIT_ERROR
+    assert "nodes must be 1..4" in capsys.readouterr().err
+
+
+def test_explore_require_exhaustive_budget_stop_exits_2(capsys):
+    rc = main(["explore", *FAST, "--max-states", "5", "--require-exhaustive"])
+    assert rc == EXIT_ERROR
+    assert "stopped at budget" in capsys.readouterr().err
+
+
+def _write_ce(tmp_path, capsys, mutate="lost_invalidation"):
+    path = tmp_path / "ce.json"
+    rc = main(["explore", "--mutate", mutate, "--out", str(path)])
+    assert rc == EXIT_VIOLATION
+    capsys.readouterr()
+    return path
+
+
+def test_replay_head_clean_exits_0(tmp_path, capsys):
+    path = _write_ce(tmp_path, capsys)
+    rc = main(["replay", str(path)])
+    assert rc == 0
+    assert "applied cleanly" in capsys.readouterr().out
+
+
+def test_replay_recorded_mutation_reproduces(tmp_path, capsys):
+    path = _write_ce(tmp_path, capsys)
+    # without --expect-violation a reproduced violation is a failure (1)
+    assert main(["replay", str(path), "--recorded-mutation"]) == EXIT_VIOLATION
+    assert "VIOLATION at step" in capsys.readouterr().out
+    # with it, reproducing is exactly what CI wants (0)...
+    assert main([
+        "replay", str(path), "--recorded-mutation", "--expect-violation",
+    ]) == 0
+    capsys.readouterr()
+    # ... and NOT reproducing (replaying HEAD) is the failure
+    assert main(["replay", str(path), "--expect-violation"]) == EXIT_VIOLATION
+
+
+def test_replay_flag_conflict_exits_2(tmp_path, capsys):
+    path = _write_ce(tmp_path, capsys)
+    rc = main([
+        "replay", str(path), "--recorded-mutation", "--mutate", "skip_downgrade",
+    ])
+    assert rc == EXIT_ERROR
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_replay_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["replay", str(tmp_path / "nope.json")])
+    assert rc == EXIT_ERROR
+    assert "no such counterexample" in capsys.readouterr().err
+
+
+def test_replay_damaged_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99}')
+    rc = main(["replay", str(bad)])
+    assert rc == EXIT_ERROR
+    assert "schema version" in capsys.readouterr().err
+
+
+def test_stats_summarizes_both_kinds(tmp_path, capsys):
+    ce_path = _write_ce(tmp_path, capsys)
+    stats_path = tmp_path / "stats.json"
+    main(["explore", *FAST, "--stats-out", str(stats_path)])
+    capsys.readouterr()
+    rc = main(["stats", str(tmp_path)])  # directory sweep
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"{ce_path.name}: counterexample [" in out
+    assert f"{stats_path.name}: explore exhausted" in out
+
+
+def test_stats_rejects_non_stats_json(tmp_path, capsys):
+    junk = tmp_path / "junk.json"
+    junk.write_text('{"hello": 1}')
+    rc = main(["stats", str(junk)])
+    assert rc == EXIT_ERROR
+    assert "neither an explore stats file nor a counterexample" in (
+        capsys.readouterr().err
+    )

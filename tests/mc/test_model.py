@@ -1,0 +1,161 @@
+"""The model checker's state abstraction and transition relation.
+
+The model must be a *pure* function of (state key, action): same inputs,
+same successor — determinism is what makes counterexamples replayable.
+These tests pin the key layout invariants (hashable, canonical), the
+enabled-action alphabet, barrier release semantics, fault bookkeeping and
+the node-permutation symmetry map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import McError
+from repro.mc.model import BARRIER, OPS, Action, MCConfig, ProtocolModel, Violation
+
+
+# ------------------------------------------------------------------ Action
+def test_action_label_and_roundtrip():
+    a = Action(1, "check_out_X", 0, fault=True)
+    assert a.label() == "node1 check_out_X block0 +fault"
+    assert Action.from_dict(a.as_dict()) == a
+    b = Action(0, BARRIER)
+    assert b.label() == "node0 barrier"
+    assert "block" not in b.as_dict() and "fault" not in b.as_dict()
+    assert Action.from_dict(b.as_dict()) == b
+
+
+def test_action_from_dict_rejects_garbage():
+    with pytest.raises(McError, match="malformed schedule action"):
+        Action.from_dict({"op": "read"})  # no node
+    with pytest.raises(McError, match="malformed schedule action"):
+        Action.from_dict({"node": "zero", "op": "read"})
+
+
+# ---------------------------------------------------------------- MCConfig
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"nodes": 0}, "nodes must be 1..4"),
+        ({"nodes": 5}, "nodes must be 1..4"),
+        ({"blocks": 9}, "blocks must be 1..4"),
+        ({"epochs": 4}, "epochs must be 1..3"),
+        ({"ops_per_epoch": -1}, "ops_per_epoch"),
+        ({"ops": ("read", "nuke")}, "unknown op"),
+        ({"max_states": 0}, "max_states"),
+    ],
+)
+def test_config_rejects_out_of_band_values(kwargs, match):
+    with pytest.raises(McError, match=match):
+        MCConfig(**kwargs)
+
+
+def test_config_roundtrip_and_from_dict_errors():
+    cfg = MCConfig(nodes=3, blocks=2, ops=("read", "write"), symmetry=True)
+    assert MCConfig.from_dict(cfg.as_dict()) == cfg
+    with pytest.raises(McError, match="malformed mc config"):
+        MCConfig.from_dict({"nodes": 2, "bogus_field": 1})
+
+
+def test_violation_roundtrip():
+    v = Violation("swmr", "two owners", node=1, block=0)
+    assert Violation.from_dict(v.as_dict()) == v
+
+
+# ----------------------------------------------------------- ProtocolModel
+def test_initial_key_shape_and_finality():
+    cfg = MCConfig(nodes=2, blocks=1, epochs=1, ops_per_epoch=2)
+    model = ProtocolModel(cfg)
+    key = model.initial_key()
+    epoch, ops_left, at_barrier, faults_left = key[0], key[1], key[2], key[3]
+    assert epoch == 0
+    assert ops_left == (2, 2)
+    assert at_barrier == (False, False)
+    assert faults_left == cfg.fault_budget
+    assert hash(key)  # fully hashable nested tuples
+    assert not model.is_final(key)
+
+
+def test_faults_off_zeroes_the_budget():
+    model = ProtocolModel(MCConfig(faults=False))
+    assert model.initial_key()[3] == 0
+    assert not any(a.fault for a in model.enabled_actions(model.initial_key()))
+
+
+def test_enabled_actions_alphabet():
+    cfg = MCConfig(nodes=2, blocks=1, ops_per_epoch=1)
+    model = ProtocolModel(cfg)
+    actions = model.enabled_actions(model.initial_key())
+    # per node: every (op, block) clean + fault variant, plus one barrier
+    expected_per_node = len(OPS) * cfg.blocks * 2 + 1
+    assert len(actions) == cfg.nodes * expected_per_node
+    barriers = [a for a in actions if a.op == BARRIER]
+    assert {a.node for a in barriers} == {0, 1}
+    for a in actions:
+        assert model.is_enabled(model.initial_key(), a)
+
+
+def test_apply_is_deterministic():
+    model = ProtocolModel(MCConfig())
+    key = model.initial_key()
+    action = Action(0, "write", 0)
+    succ1, vio1 = model.apply(key, action)
+    succ2, vio2 = model.apply(key, action)
+    assert vio1 is None and vio2 is None
+    assert succ1 == succ2
+    assert hash(succ1)
+
+
+def test_apply_rejects_disabled_action():
+    model = ProtocolModel(MCConfig(nodes=2))
+    with pytest.raises(McError, match="not enabled"):
+        model.apply(model.initial_key(), Action(7, "read", 0))
+
+
+def test_barrier_release_advances_epoch_and_refills_budgets():
+    cfg = MCConfig(nodes=2, blocks=1, epochs=2, ops_per_epoch=2)
+    model = ProtocolModel(cfg)
+    key = model.initial_key()
+    key, _ = model.apply(key, Action(0, "read", 0))
+    assert key[1] == (1, 2)  # node 0 spent one op
+    key, _ = model.apply(key, Action(0, BARRIER))
+    assert key[0] == 0 and key[2] == (True, False)  # arrived, not released
+    key, _ = model.apply(key, Action(1, BARRIER))
+    # last arrival releases within the same transition
+    assert key[0] == 1
+    assert key[1] == (2, 2)  # op budgets refilled
+    assert key[2] == (False, False)
+    assert not model.is_final(key)
+    # cache contents survive the barrier: node 0 still holds block 0
+    assert any(block == 0 for block, _, _ in key[4][0])
+
+
+def test_fault_transition_lands_in_clean_state_and_spends_budget():
+    model = ProtocolModel(MCConfig(fault_budget=2))
+    key = model.initial_key()
+    clean, vio = model.apply(key, Action(0, "write", 0))
+    assert vio is None
+    faulty, vio = model.apply(key, Action(0, "write", 0, fault=True))
+    assert vio is None
+    # architectural parts identical, only the fault budget differs
+    assert clean[4:] == faulty[4:]
+    assert faulty[3] == clean[3] - 1
+
+
+def test_symmetry_canonical_identifies_permuted_states():
+    cfg = MCConfig(nodes=2, symmetry=True)
+    model = ProtocolModel(cfg)
+    key = model.initial_key()
+    via0, _ = model.apply(key, Action(0, "read", 0))
+    via1, _ = model.apply(key, Action(1, "read", 0))
+    assert via0 != via1  # distinct actual states
+    assert model.canonical(via0) == model.canonical(via1)
+    # canonical is idempotent and stays within the orbit
+    assert model.canonical(model.canonical(via0)) == model.canonical(via0)
+
+
+def test_symmetry_off_is_identity():
+    model = ProtocolModel(MCConfig(symmetry=False))
+    key, _ = model.apply(model.initial_key(), Action(1, "write", 0))
+    assert model.canonical(key) is key

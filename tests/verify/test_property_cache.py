@@ -1,0 +1,198 @@
+"""The verify property cache: memoized barrier scans with zero stale passes.
+
+Two properties carry the whole design:
+
+* **conservation** — the cached scan accepts exactly the states the
+  uncached scan accepts and rejects exactly the states it rejects, with
+  the identical diagnostics (a pass is only memoized together with the
+  version counters it was computed at);
+* **no stale pass** — mutating a directory entry or a cache *behind the
+  cache's back* (single-field writes like ``entry.ptr = 2``, not protocol
+  operations) bumps a version counter and defeats the memo, so a
+  previously-passing block is re-checked and the corruption caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.state import LineState
+from repro.coherence.protocol import Dir1SWProtocol
+from repro.errors import ProtocolError, VerifyError
+from repro.machine.config import MachineConfig
+from repro.machine.events import EV_BARRIER, EV_REF
+from repro.machine.machine import Machine
+from repro.obs.metrics import MetricsRegistry
+from repro.verify import InvariantChecker, PropertyCache, verify_run
+from repro.workloads.base import get_workload
+
+
+def _proto() -> Dir1SWProtocol:
+    return Dir1SWProtocol(num_nodes=2, cache_size=1024, block_size=32, assoc=2)
+
+
+# ------------------------------------------------------------- memoization
+def test_second_scan_is_all_hits():
+    proto = _proto()
+    proto.read(0, 0)
+    proto.read(1, 1)
+    pcache = PropertyCache(proto)
+    first = pcache.scan()
+    misses_after_first = pcache.misses
+    assert misses_after_first > 0 and pcache.hits == 0
+    second = pcache.scan()
+    assert second == first  # same holders map
+    assert pcache.misses == misses_after_first  # nothing re-walked
+    assert pcache.hits > 0
+    assert 0 < pcache.hit_rate < 1
+
+
+def test_protocol_activity_invalidates_only_what_changed():
+    proto = _proto()
+    proto.read(0, 0)
+    proto.read(1, 1)
+    pcache = PropertyCache(proto)
+    pcache.scan()
+    proto.write(0, 0)  # touches block 0 and node 0, leaves block 1 / node 1
+    before = pcache.hits
+    pcache.scan()
+    assert pcache.hits > before  # node 1's slice still served from memo
+
+
+# ---------------------------------------------------------- no stale pass
+def test_tampered_entry_field_defeats_the_memo():
+    """The issue's mutation test: flip a directory entry field through a
+    plain attribute write after the cache memoized a pass — the versioned
+    key must force a recheck, never serve the stale verdict."""
+    proto = _proto()
+    proto.write(0, 0)
+    pcache = PropertyCache(proto)
+    pcache.scan()  # pass memoized at the current versions
+    entry = proto.directory.peek(0)
+    version = entry.version
+    entry.ptr = 1  # corruption: RW entry now points at a non-holder
+    assert entry.version > version  # the single-field write bumped it
+    with pytest.raises(ProtocolError, match="bad RW entry"):
+        pcache.scan()
+
+
+def test_stale_cache_copy_defeats_the_memo():
+    proto = _proto()
+    proto.write(0, 0)
+    pcache = PropertyCache(proto)
+    pcache.scan()
+    # node 1 secretly grows a copy the directory knows nothing about: the
+    # insert bumps node 1's cache version, so its reverse scan re-runs
+    proto.caches[1].insert(0, LineState.SHARED)
+    with pytest.raises(ProtocolError, match="unknown to directory"):
+        pcache.scan()
+
+
+def test_failure_is_never_memoized():
+    proto = _proto()
+    proto.read(0, 0)
+    pcache = PropertyCache(proto)
+    pcache.scan()
+    proto.directory.add_reader(0, 1)  # sharer with no cache line
+    with pytest.raises(ProtocolError):
+        pcache.scan()
+    with pytest.raises(ProtocolError):
+        pcache.scan()  # still failing: the bad state never became a "pass"
+
+
+def test_cached_diagnostics_match_invariant_check():
+    """Same corruption, same message: the cached scan replicates the
+    uncached :meth:`invariant_check` diagnostics verbatim."""
+    proto = _proto()
+    proto.read(0, 0)
+    proto.directory.add_reader(0, 1)
+    with pytest.raises(ProtocolError) as uncached:
+        proto.invariant_check()
+    with pytest.raises(ProtocolError) as cached:
+        PropertyCache(proto).scan()
+    assert str(cached.value) == str(uncached.value)
+
+
+# ------------------------------------------------------------ conservation
+def _machine(property_cache: bool):
+    config = MachineConfig(num_nodes=2, cache_size=1024, block_size=32, assoc=2)
+    machine = Machine(config)
+    checker = InvariantChecker(
+        machine.protocol, label="pcache", property_cache=property_cache
+    )
+    checker.subscribe(machine.bus)
+    return machine, checker
+
+
+def _clean_kernel(nid):
+    if nid == 0:
+        yield (EV_REF, 1, 0, True, 11)
+        yield (EV_BARRIER, 0, 12)
+        yield (EV_REF, 1, 0, False, 13)
+        yield (EV_BARRIER, 0, 14)
+    else:
+        yield (EV_REF, 1, 32, False, 21)
+        yield (EV_BARRIER, 0, 22)
+        yield (EV_BARRIER, 0, 23)
+
+
+def test_conservation_clean_run_accepted_both_ways():
+    reports = {}
+    for cached in (True, False):
+        machine, checker = _machine(property_cache=cached)
+        result = machine.run(_clean_kernel)
+        reports[cached] = checker.finalize(result)
+    assert reports[True].ok and reports[False].ok
+    assert reports[True].checks == reports[False].checks
+    assert reports[True].warnings == reports[False].warnings
+
+
+def test_conservation_corrupt_run_rejected_both_ways():
+    errors = {}
+    for cached in (True, False):
+        machine, _ = _machine(property_cache=cached)
+
+        def kernel(nid, machine=machine):
+            if nid == 0:
+                yield (EV_REF, 1, 0, True, 11)
+                machine.protocol.caches[1].insert(0, LineState.EXCLUSIVE)
+                yield (EV_BARRIER, 0, 12)
+            else:
+                yield (EV_BARRIER, 0, 21)
+
+        with pytest.raises(VerifyError) as excinfo:
+            machine.run(kernel)
+        errors[cached] = excinfo.value
+    assert errors[True].invariant == errors[False].invariant
+    assert str(errors[True]) == str(errors[False])
+
+
+# ------------------------------------------------------------ reporting
+def test_real_workload_run_reports_cache_effectiveness():
+    spec = get_workload("mp3d")
+    report, _ = verify_run(
+        spec.program, spec.config, spec.params_fn, label="mp3d/plain"
+    )
+    assert report.ok
+    cache = report.cache
+    assert cache["hits"] > 0 and cache["misses"] > 0
+    assert cache["hit_rate"] == pytest.approx(
+        cache["hits"] / (cache["hits"] + cache["misses"]), abs=1e-3
+    )
+    assert report.as_dict()["cache"] == cache
+
+
+def test_checker_feeds_verify_metrics():
+    registry = MetricsRegistry()
+    config = MachineConfig(num_nodes=2, cache_size=1024, block_size=32, assoc=2)
+    machine = Machine(config)
+    checker = InvariantChecker(
+        machine.protocol, label="metrics", metrics=registry
+    )
+    checker.subscribe(machine.bus)
+    machine.run(_clean_kernel)
+    snap = registry.snapshot()
+    assert snap["verify.scans"] >= 2  # one per barrier
+    # every scanned unit landed in exactly one bucket
+    assert snap["verify.cache_misses"] > 0
+    assert snap["verify.cache_hits"] + snap["verify.cache_misses"] > 0
